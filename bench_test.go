@@ -1,0 +1,538 @@
+package repro
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (running the same drivers as cmd/repro at a reduced scale so
+// the suite completes in minutes), micro-benchmarks for the pipeline
+// stages, and the ablation benches called out in DESIGN.md §5.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/baseline"
+	"repro/internal/bipartite"
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/emd"
+	"repro/internal/enron"
+	"repro/internal/experiments"
+	"repro/internal/featsel"
+	"repro/internal/infoest"
+	"repro/internal/innovate"
+	"repro/internal/randx"
+	"repro/internal/signature"
+	"repro/internal/synth"
+)
+
+// --- Per-figure benchmarks -------------------------------------------------
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rep := experiments.Table1Report(); len(rep) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	opts := experiments.Fig7Options{
+		Subjects:            1,
+		Replicates:          200,
+		MeanRecordsPerBag:   200,
+		MeanBagsPerActivity: 10,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(int64(i+1), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	opts := experiments.Fig10Options{
+		Graph:      bipartite.Section53Options{NodeLambda: 30, Steps: 120, TotalWeight: 6000},
+		Replicates: 200,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(int64(i+1), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	opts := experiments.Fig11Options{
+		Corpus:     enron.Config{Employees: 40},
+		Replicates: 200,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(int64(i+1), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Pipeline micro-benchmarks ----------------------------------------------
+
+// randomSignature builds a K-center d-dimensional signature.
+func randomSignature(rng *randx.RNG, k, d int) signature.Signature {
+	s := signature.Signature{Weights: make([]float64, k)}
+	total := 0.0
+	for i := 0; i < k; i++ {
+		s.Centers = append(s.Centers, rng.NormalVec(d, 0, 3))
+		s.Weights[i] = rng.Gamma(1, 1) + 0.01
+		total += s.Weights[i]
+	}
+	for i := range s.Weights {
+		s.Weights[i] /= total
+	}
+	return s
+}
+
+func benchmarkEMD(b *testing.B, k, d int) {
+	rng := randx.New(1)
+	s := randomSignature(rng, k, d)
+	t := randomSignature(rng, k, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emd.Distance(s, t, emd.Euclidean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEMDSimplexK8(b *testing.B)  { benchmarkEMD(b, 8, 2) }
+func BenchmarkEMDSimplexK16(b *testing.B) { benchmarkEMD(b, 16, 2) }
+func BenchmarkEMDSimplexK32(b *testing.B) { benchmarkEMD(b, 32, 2) }
+func BenchmarkEMDSimplexK64(b *testing.B) { benchmarkEMD(b, 64, 2) }
+
+func BenchmarkEMD1DFastPath(b *testing.B) {
+	rng := randx.New(2)
+	s := randomSignature(rng, 32, 1)
+	t := randomSignature(rng, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emd.Distance1D(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMD1DViaSimplex is the ablation partner of the fast path: the
+// same 1-D instances solved by the general transportation simplex.
+func BenchmarkEMD1DViaSimplex(b *testing.B) {
+	rng := randx.New(2)
+	s := randomSignature(rng, 32, 1)
+	t := randomSignature(rng, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emd.Distance(s, t, emd.Euclidean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansSignature(b *testing.B) {
+	rng := randx.New(3)
+	pts := make([][]float64, 1000)
+	for i := range pts {
+		pts[i] = rng.NormalVec(4, 0, 1)
+	}
+	bg := bag.New(0, pts)
+	builder := NewKMeansBuilder(8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.Build(bg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistogramSignature(b *testing.B) {
+	rng := randx.New(4)
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.Normal(0, 1)
+	}
+	bg := bag.FromScalars(0, vals)
+	builder := NewHistogramBuilder(-5, 5, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.Build(bg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBootstrapCI measures one full confidence interval (T=1000) on
+// a precomputed 10×10 log-distance window — the per-step cost of the
+// adaptive threshold.
+func BenchmarkBootstrapCI(b *testing.B) {
+	rng := randx.New(5)
+	n := 10
+	logD := make([][]float64, n)
+	for i := range logD {
+		logD[i] = make([]float64, n)
+		for j := range logD[i] {
+			if i != j {
+				logD[i][j] = rng.Normal(0, 1)
+			}
+		}
+	}
+	win := infoest.Window{LogD: logD, NRef: 5, NTest: 5}
+	score := func(gRef, gTest []float64) float64 { return infoest.ScoreKL(win, gRef, gTest) }
+	base := infoest.UniformWeights(5)
+	cfg := bootstrap.Config{Replicates: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bootstrap.ConfidenceInterval(score, base, base, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorPush measures the steady-state streaming cost per bag
+// (signature build + τ+τ′−1 EMDs + bootstrap CI).
+func BenchmarkDetectorPush(b *testing.B) {
+	rng := randx.New(6)
+	det, err := NewDetector(Config{
+		Tau: 5, TauPrime: 5,
+		Builder:   NewHistogramBuilder(-5, 5, 40),
+		Bootstrap: BootstrapConfig{Replicates: 1000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bags := make([]Bag, 64)
+	for t := range bags {
+		vals := make([]float64, 300)
+		for i := range vals {
+			vals[i] = rng.Normal(0, 1)
+		}
+		bags[t] = BagFromScalars(t, vals)
+	}
+	// Warm the window.
+	for t := 0; t < 16; t++ {
+		if _, err := det.Push(bags[t%len(bags)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Push(bags[i%len(bags)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) --------------------------------------
+
+// ablationSequence is a shared mean-shift workload for the ablations.
+func ablationSequence(seed int64, n, size int) bag.Sequence {
+	rng := randx.New(seed)
+	seq := make(bag.Sequence, n)
+	for t := 0; t < n; t++ {
+		mu := 0.0
+		if t >= n/2 {
+			mu = 4
+		}
+		vals := make([]float64, size)
+		for i := range vals {
+			vals[i] = rng.Normal(mu, 1)
+		}
+		seq[t] = bag.FromScalars(t, vals)
+	}
+	return seq
+}
+
+// BenchmarkAblationScores compares the two change-point scores end to end.
+func BenchmarkAblationScores(b *testing.B) {
+	seq := ablationSequence(7, 30, 200)
+	for _, tc := range []struct {
+		name  string
+		score core.ScoreType
+	}{{"KL", core.ScoreKL}, {"LR", core.ScoreLR}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := Config{
+				Tau: 5, TauPrime: 5, Score: tc.score,
+				Builder:   NewHistogramBuilder(-5, 9, 40),
+				Bootstrap: BootstrapConfig{Replicates: 500},
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSignatureK sweeps the quantization fineness: larger K
+// means richer signatures but quadratically more expensive EMD.
+func BenchmarkAblationSignatureK(b *testing.B) {
+	rng := randx.New(8)
+	seq := make(bag.Sequence, 24)
+	for t := range seq {
+		mu := 0.0
+		if t >= 12 {
+			mu = 3
+		}
+		pts := make([][]float64, 200)
+		for i := range pts {
+			pts[i] = []float64{rng.Normal(mu, 1), rng.Normal(-mu, 1)}
+		}
+		seq[t] = bag.New(t, pts)
+	}
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(map[int]string{4: "K4", 8: "K8", 16: "K16", 32: "K32"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := Config{
+					Tau: 5, TauPrime: 5,
+					Builder:   NewKMeansBuilder(k, int64(i)),
+					Bootstrap: BootstrapConfig{Replicates: 300},
+				}
+				if _, err := Run(cfg, seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBootstrapT sweeps the bootstrap size: the CI cost is
+// linear in T and independent of bag sizes.
+func BenchmarkAblationBootstrapT(b *testing.B) {
+	seq := ablationSequence(9, 24, 200)
+	for _, replicates := range []int{100, 1000, 5000} {
+		b.Run(map[int]string{100: "T100", 1000: "T1000", 5000: "T5000"}[replicates], func(b *testing.B) {
+			cfg := Config{
+				Tau: 5, TauPrime: 5,
+				Builder:   NewHistogramBuilder(-5, 9, 40),
+				Bootstrap: BootstrapConfig{Replicates: replicates},
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWeighting compares uniform and discounted base weights.
+func BenchmarkAblationWeighting(b *testing.B) {
+	seq := ablationSequence(10, 24, 200)
+	for _, tc := range []struct {
+		name string
+		w    core.Weighting
+	}{{"uniform", core.WeightUniform}, {"discounted", core.WeightDiscounted}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := Config{
+				Tau: 5, TauPrime: 5, Weighting: tc.w,
+				Builder:   NewHistogramBuilder(-5, 9, 40),
+				Bootstrap: BootstrapConfig{Replicates: 500},
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSection51Generation isolates workload generation cost.
+func BenchmarkSection51Generation(b *testing.B) {
+	rng := randx.New(11)
+	for i := 0; i < b.N; i++ {
+		for _, d := range synth.AllSection51() {
+			if _, err := d.Generate(rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBipartiteFeatures isolates graph feature extraction.
+func BenchmarkBipartiteFeatures(b *testing.B) {
+	rng := randx.New(12)
+	graphs, err := bipartite.TrafficVolume.Generate(rng,
+		bipartite.Section53Options{NodeLambda: 100, Steps: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range bipartite.AllFeatures() {
+			if _, err := graphs[i%len(graphs)].FeatureBag(f, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Extension and utility benchmarks ----------------------------------------
+
+// BenchmarkAblationReport times the full design-choice study of
+// cmd/repro -exp ablation.
+func BenchmarkAblationReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatureSelection times featsel.Learn on a 45-bag, 8-D labeled
+// history (the §6 extension).
+func BenchmarkFeatureSelection(b *testing.B) {
+	rng := randx.New(20)
+	changes := []int{15, 30}
+	seq := make(bag.Sequence, 45)
+	for t := range seq {
+		shift := 0.0
+		for _, c := range changes {
+			if t >= c {
+				shift += 2
+			}
+		}
+		pts := make([][]float64, 60)
+		for i := range pts {
+			p := make([]float64, 8)
+			p[0] = rng.Normal(shift, 1)
+			for j := 1; j < 8; j++ {
+				p[j] = rng.Normal(0, 4)
+			}
+			pts[i] = p
+		}
+		seq[t] = bag.New(t, pts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := featsel.Learn(seq, changes, featsel.Config{Tau: 5, TauPrime: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhiten times AR(1) prewhitening of 30 bags of 400 samples.
+func BenchmarkWhiten(b *testing.B) {
+	rng := randx.New(21)
+	seq := make(bag.Sequence, 30)
+	for t := range seq {
+		run := make([]float64, 400)
+		for i := 1; i < len(run); i++ {
+			run[i] = 0.8*run[i-1] + rng.Normal(0, 1)
+		}
+		seq[t] = bag.FromScalars(t, run)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := innovate.Whiten(seq, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairwiseEMD20 times the Fig. 6-style full distance matrix
+// over 20 bags (parallel across cores).
+func BenchmarkPairwiseEMD20(b *testing.B) {
+	rng := randx.New(22)
+	seq := make(bag.Sequence, 20)
+	for t := range seq {
+		pts := make([][]float64, 50)
+		for i := range pts {
+			pts[i] = rng.NormalVec(2, float64(t/10), 1)
+		}
+		seq[t] = bag.New(t, pts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := NewKMeansBuilder(8, int64(i))
+		if _, err := core.PairwiseEMD(builder, seq, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMDSEmbed times the classical MDS embedding of a 20×20 matrix.
+func BenchmarkMDSEmbed(b *testing.B) {
+	rng := randx.New(23)
+	n := 20
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = rng.NormalVec(2, 0, 3)
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				dx := pts[i][0] - pts[j][0]
+				dy := pts[i][1] - pts[j][1]
+				d[i][j] = dx*dx + dy*dy
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MDSEmbed(d, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChangeFinder and BenchmarkKCD time the Fig. 1 baselines on a
+// 150-step scalar series.
+func BenchmarkChangeFinder(b *testing.B) {
+	rng := randx.New(24)
+	xs := make([]float64, 150)
+	for i := range xs {
+		xs[i] = rng.Normal(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf, err := baseline.NewChangeFinder(2, 0.03, 5, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cf.Run(xs)
+	}
+}
+
+func BenchmarkKCD(b *testing.B) {
+	rng := randx.New(25)
+	xs := make([][]float64, 150)
+	for i := range xs {
+		xs[i] = []float64{rng.Normal(0, 1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.RunKCD(xs, baseline.KCDConfig{Window: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

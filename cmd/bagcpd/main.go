@@ -1,0 +1,203 @@
+// Command bagcpd runs the bag-of-data change-point detector over a
+// stream of bags read from stdin (or a file) and writes one CSV row per
+// inspection point: time, score, confidence interval, kappa, alarm.
+//
+// Input formats (-format):
+//
+//	jsonl  one JSON array of points per line, each point an array of
+//	       numbers: [[1.2, 0.3], [0.9, -0.1], ...]; a line is one bag.
+//	csv    one observation per line as "t,v1,v2,..."; consecutive lines
+//	       with the same integer t form one bag (t must be
+//	       non-decreasing).
+//
+// Example:
+//
+//	bagcpd -tau 5 -tau-prime 5 -score kl -k 8 < bags.jsonl
+//	bagcpd -format csv -hist-lo -10 -hist-hi 10 -hist-bins 40 < points.csv
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		format   = flag.String("format", "jsonl", "input format: jsonl|csv")
+		tau      = flag.Int("tau", 5, "reference window length τ")
+		tauPrime = flag.Int("tau-prime", 5, "test window length τ′")
+		score    = flag.String("score", "kl", "change-point score: kl|lr")
+		k        = flag.Int("k", 8, "k-means signature size (multi-dimensional bags)")
+		histLo   = flag.Float64("hist-lo", 0, "histogram lower bound (1-D bags; with -hist-bins > 0)")
+		histHi   = flag.Float64("hist-hi", 0, "histogram upper bound")
+		histBins = flag.Int("hist-bins", 0, "histogram bins; 0 selects k-means signatures")
+		reps     = flag.Int("bootstrap", 1000, "Bayesian bootstrap replicates")
+		alpha    = flag.Float64("alpha", 0.05, "significance level")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		input    = flag.String("in", "-", "input path, or - for stdin")
+	)
+	flag.Parse()
+
+	var builder repro.Builder
+	if *histBins > 0 {
+		if !(*histHi > *histLo) {
+			fatalf("-hist-hi must exceed -hist-lo")
+		}
+		builder = repro.NewHistogramBuilder(*histLo, *histHi, *histBins)
+	} else {
+		builder = repro.NewKMeansBuilder(*k, *seed)
+	}
+	cfg := repro.Config{
+		Tau:       *tau,
+		TauPrime:  *tauPrime,
+		Builder:   builder,
+		Bootstrap: repro.BootstrapConfig{Replicates: *reps, Alpha: *alpha},
+		Seed:      *seed,
+	}
+	switch *score {
+	case "kl":
+		cfg.Score = repro.ScoreKL
+	case "lr":
+		cfg.Score = repro.ScoreLR
+	default:
+		fatalf("unknown -score %q (want kl or lr)", *score)
+	}
+
+	det, err := repro.NewDetector(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "t,score,ci_lo,ci_up,kappa,alarm")
+
+	emit := func(p *repro.Point) {
+		if p == nil {
+			return
+		}
+		kappa := "NaN"
+		if !math.IsNaN(p.Kappa) {
+			kappa = strconv.FormatFloat(p.Kappa, 'g', -1, 64)
+		}
+		fmt.Fprintf(out, "%d,%g,%g,%g,%s,%t\n",
+			p.T, p.Score, p.Interval.Lo, p.Interval.Up, kappa, p.Alarm)
+	}
+
+	var pushErr error
+	switch *format {
+	case "jsonl":
+		pushErr = readJSONL(in, det, emit)
+	case "csv":
+		pushErr = readCSV(in, det, emit)
+	default:
+		fatalf("unknown -format %q (want jsonl or csv)", *format)
+	}
+	if pushErr != nil {
+		fatalf("%v", pushErr)
+	}
+}
+
+func readJSONL(r io.Reader, det *repro.Detector, emit func(*repro.Point)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	t := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var points [][]float64
+		if err := json.Unmarshal([]byte(line), &points); err != nil {
+			return fmt.Errorf("bagcpd: line %d: %w", t+1, err)
+		}
+		p, err := det.Push(repro.NewBag(t, points))
+		if err != nil {
+			return fmt.Errorf("bagcpd: bag %d: %w", t, err)
+		}
+		emit(p)
+		t++
+	}
+	return sc.Err()
+}
+
+func readCSV(r io.Reader, det *repro.Detector, emit func(*repro.Point)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	curT := -1
+	var cur [][]float64
+	flush := func() error {
+		if curT < 0 {
+			return nil
+		}
+		p, err := det.Push(repro.NewBag(curT, cur))
+		if err != nil {
+			return fmt.Errorf("bagcpd: bag %d: %w", curT, err)
+		}
+		emit(p)
+		cur = nil
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return fmt.Errorf("bagcpd: line %d: need t,v1[,v2...]", lineNo)
+		}
+		t, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return fmt.Errorf("bagcpd: line %d: bad time %q", lineNo, fields[0])
+		}
+		vec := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("bagcpd: line %d: bad value %q", lineNo, f)
+			}
+			vec[i] = v
+		}
+		if t != curT {
+			if t < curT {
+				return fmt.Errorf("bagcpd: line %d: time went backwards (%d after %d)", lineNo, t, curT)
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			curT = t
+		}
+		cur = append(cur, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bagcpd: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func testDetector(t *testing.T) *repro.Detector {
+	t.Helper()
+	det, err := repro.NewDetector(repro.Config{
+		Tau: 2, TauPrime: 2,
+		Builder:   repro.NewHistogramBuilder(-10, 10, 10),
+		Bootstrap: repro.BootstrapConfig{Replicates: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestReadJSONL(t *testing.T) {
+	input := `[[1],[2],[3]]
+[[1.5],[2.5]]
+
+[[0],[1],[2]]
+[[5],[6]]
+`
+	var points []*repro.Point
+	err := readJSONL(strings.NewReader(input), testDetector(t), func(p *repro.Point) {
+		if p != nil {
+			points = append(points, p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 bags, window 4 → exactly one inspection point at t=2.
+	if len(points) != 1 || points[0].T != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	err := readJSONL(strings.NewReader("not json\n"), testDetector(t), func(*repro.Point) {})
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	input := `# comment
+0,1.0
+0,2.0
+1,1.5
+1,2.5
+2,0.5
+2,1.5
+3,5.0
+3,6.0
+`
+	var points []*repro.Point
+	err := readCSV(strings.NewReader(input), testDetector(t), func(p *repro.Point) {
+		if p != nil {
+			points = append(points, p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].T != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":     "0\n",
+		"bad time":       "x,1\n",
+		"bad value":      "0,abc\n",
+		"time backwards": "1,1\n0,2\n",
+	}
+	for name, input := range cases {
+		err := readCSV(strings.NewReader(input), testDetector(t), func(*repro.Point) {})
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

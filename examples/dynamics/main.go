@@ -1,0 +1,93 @@
+// Dynamics change (§6 future-work extension): detect a change in the
+// CORRELATION STRUCTURE of a signal whose marginal distribution never
+// changes.
+//
+// Each bag is a window of 400 ordered samples. Before the change the
+// samples follow an AR(1) process with φ=0.9 scaled to unit marginal
+// variance; afterwards they are white noise with unit variance. Every
+// bag's histogram looks like N(0,1) in both regimes, so the raw detector
+// sees nothing. Whitening each bag with a fitted AR model (repro.Whiten)
+// exposes the change: the innovation variance jumps from 0.19 to 1.
+//
+// Run: go run ./examples/dynamics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+func arWindow(rng *rand.Rand, n int, phi, marginalSD float64) []float64 {
+	sigma := marginalSD * math.Sqrt(1-phi*phi)
+	out := make([]float64, n)
+	out[0] = rng.NormFloat64() * marginalSD
+	for i := 1; i < n; i++ {
+		out[i] = phi*out[i-1] + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+func run(seq repro.Sequence, name string) []int {
+	det, err := repro.NewDetector(repro.Config{
+		Tau: 5, TauPrime: 5,
+		Builder:   repro.NewHistogramBuilder(-5, 5, 30),
+		Bootstrap: repro.BootstrapConfig{Replicates: 800},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var alarms []int
+	fmt.Printf("%-10s", name)
+	for _, b := range seq {
+		p, err := det.Push(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case p == nil:
+			fmt.Print(" ")
+		case p.Alarm:
+			fmt.Print("X")
+			alarms = append(alarms, p.T)
+		case p.Score > 0.5:
+			fmt.Print("*")
+		default:
+			fmt.Print(".")
+		}
+	}
+	fmt.Println()
+	return alarms
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	const windows = 30
+	const changeAt = 15
+
+	seq := make(repro.Sequence, windows)
+	for t := 0; t < windows; t++ {
+		phi := 0.9
+		if t >= changeAt {
+			phi = 0.0 // white noise — same unit marginal variance
+		}
+		seq[t] = repro.BagFromScalars(t, arWindow(rng, 400, phi, 1))
+	}
+
+	fmt.Printf("30 windows; dynamics change at window %d (marginals identical)\n\n", changeAt)
+	rawAlarms := run(seq, "raw")
+
+	whitened, err := repro.Whiten(seq, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	whiteAlarms := run(whitened, "whitened")
+
+	fmt.Printf("\nraw alarms:      %v\n", rawAlarms)
+	fmt.Printf("whitened alarms: %v\n", whiteAlarms)
+	fmt.Println("\nThe raw pipeline is blind to a pure dynamics change; AR prewhitening")
+	fmt.Println("(the paper's §6 'innovation time series' suggestion) reveals it.")
+}

@@ -1,0 +1,127 @@
+// Network monitoring (§5.3/§5.4 scenario): watch a stream of bipartite
+// communication graphs — senders → receivers per time window — whose
+// node sets differ every window, and detect when the communication
+// pattern changes.
+//
+// We simulate a two-community service mesh. At the change point the
+// clients re-partition (a failover shifts part of one community's
+// traffic to the other backend pool). Each window's graph is converted
+// to bags through the paper's node features (out-strength per sender,
+// in-strength per receiver), and a detector runs per feature.
+//
+// Run: go run ./examples/network
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+// poisson draws a Poisson(lambda) count with Knuth's method (the rates
+// here are small, so this is fast).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// window generates one bipartite snapshot and returns two feature bags:
+// sender out-strengths and receiver in-strengths (isolated nodes are
+// dropped — they did not participate in the window).
+func window(rng *rand.Rand, shifted bool) (out, in []float64) {
+	nSend := 90 + rng.Intn(20)
+	nRecv := 46 + rng.Intn(8)
+	outStrength := make([]float64, nSend)
+	inStrength := make([]float64, nRecv)
+	for s := 0; s < nSend; s++ {
+		for r := 0; r < nRecv; r++ {
+			rate := 0.2 // cross-community chatter
+			if (s < nSend/2) == (r < nRecv/2) {
+				rate = 2.0 // within-community traffic
+			}
+			if shifted && s < nSend/2 {
+				// Failover: community A sends much less to its own pool
+				// and spills onto the other one.
+				if r < nRecv/2 {
+					rate *= 0.4
+				} else {
+					rate += 1.2
+				}
+			}
+			if w := poisson(rng, rate); w > 0 {
+				outStrength[s] += float64(w)
+				inStrength[r] += float64(w)
+			}
+		}
+	}
+	return nonzero(outStrength), nonzero(inStrength)
+}
+
+func nonzero(xs []float64) []float64 {
+	var out []float64
+	for _, v := range xs {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+	mk := func() *repro.Detector {
+		det, err := repro.NewDetector(repro.Config{
+			Tau:       5,
+			TauPrime:  3,
+			Builder:   repro.NewHistogramBuilder(0, 200, 32),
+			Bootstrap: repro.BootstrapConfig{Replicates: 600, Alpha: 0.05},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return det
+	}
+	detOut, detIn := mk(), mk()
+
+	const windows = 40
+	const changeAt = 25
+	fmt.Println("win   senders-feature   receivers-feature")
+	for t := 0; t < windows; t++ {
+		out, in := window(rng, t >= changeAt)
+		pOut, err := detOut.Push(repro.BagFromScalars(t, out))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pIn, err := detIn.Push(repro.BagFromScalars(t, in))
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := func(p *repro.Point) string {
+			if p == nil {
+				return "    -      "
+			}
+			mark := " "
+			if p.Alarm {
+				mark = "X"
+			}
+			return fmt.Sprintf("%+7.3f  %s ", p.Score, mark)
+		}
+		fmt.Printf("%3d   %s       %s\n", t, row(pOut), row(pIn))
+	}
+	fmt.Printf("\nFailover at window %d re-partitioned the traffic; the node-strength\n", changeAt)
+	fmt.Println("features (paper features 5 and 6) expose it even though every window")
+	fmt.Println("has a different set of active senders and receivers.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: detect a distribution change in a stream of bags.
+//
+// Each "day" we observe a variable number of measurements (a bag). For
+// the first 15 days they come from N(0,1); afterwards from N(4,1). The
+// detector summarizes each bag, embeds the summaries with the Earth
+// Mover's Distance, scores the reference-vs-test windows, and raises an
+// alarm only when the Bayesian-bootstrap confidence interval at t clears
+// the one at t−τ′.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	det, err := repro.NewDetector(repro.Config{
+		Tau:      5, // reference window: 5 bags
+		TauPrime: 5, // test window: 5 bags
+		Builder:  repro.NewHistogramBuilder(-8, 12, 40),
+		Bootstrap: repro.BootstrapConfig{
+			Replicates: 1000,
+			Alpha:      0.05, // 95% confidence intervals
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("day  score    95% interval        alarm")
+	for day := 0; day < 30; day++ {
+		mean := 0.0
+		if day >= 15 {
+			mean = 4.0 // the change
+		}
+		// A bag of 40-80 scalar measurements.
+		n := 40 + rng.Intn(41)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = mean + rng.NormFloat64()
+		}
+
+		point, err := det.Push(repro.BagFromScalars(day, values))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if point == nil {
+			continue // windows still filling
+		}
+		mark := ""
+		if point.Alarm {
+			mark = "  <<< CHANGE DETECTED"
+		}
+		fmt.Printf("%3d  %+.3f  [%+.3f, %+.3f]%s\n",
+			point.T, point.Score, point.Interval.Lo, point.Interval.Up, mark)
+	}
+}

@@ -1,0 +1,197 @@
+// Package bag defines the fundamental observation type of the paper: a
+// bag of data, i.e. the collection of d-dimensional vectors observed at a
+// single time step (Eq. 3 of the paper). The number of vectors per bag may
+// vary over time, which is exactly the setting the method targets.
+package bag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Bag is the observation at one time step: n_t vectors in R^d.
+// Points may alias caller storage; use Clone for an independent copy.
+type Bag struct {
+	// T is the time index of the observation (informational).
+	T int
+	// Points holds the n_t observed vectors; all must share one dimension.
+	Points [][]float64
+}
+
+// New constructs a bag at time t from the given points.
+// It panics if the points are ragged (mixed dimensions).
+func New(t int, points [][]float64) Bag {
+	b := Bag{T: t, Points: points}
+	if err := b.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+// Len returns n_t, the number of vectors in the bag.
+func (b Bag) Len() int { return len(b.Points) }
+
+// Dim returns the dimensionality of the vectors, or 0 for an empty bag.
+func (b Bag) Dim() int {
+	if len(b.Points) == 0 {
+		return 0
+	}
+	return len(b.Points[0])
+}
+
+// Validate checks that all points share the same dimension and contain no
+// NaN or infinite coordinates.
+func (b Bag) Validate() error {
+	if len(b.Points) == 0 {
+		return nil
+	}
+	d := len(b.Points[0])
+	for i, p := range b.Points {
+		if len(p) != d {
+			return fmt.Errorf("bag: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("bag: point %d coordinate %d is %g", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the bag.
+func (b Bag) Clone() Bag {
+	pts := make([][]float64, len(b.Points))
+	for i, p := range b.Points {
+		pts[i] = vec.Clone(p)
+	}
+	return Bag{T: b.T, Points: pts}
+}
+
+// Mean returns the sample mean vector of the bag, or nil for an empty bag.
+// This is the descriptive-statistic summary whose information loss the
+// paper's Fig. 1 demonstrates.
+func (b Bag) Mean() []float64 {
+	if len(b.Points) == 0 {
+		return nil
+	}
+	d := b.Dim()
+	m := make([]float64, d)
+	for _, p := range b.Points {
+		vec.AddScaled(m, 1, p)
+	}
+	vec.Scale(m, 1/float64(len(b.Points)))
+	return m
+}
+
+// Bounds returns per-dimension [min, max] over the bag's points.
+// It returns (nil, nil) for an empty bag.
+func (b Bag) Bounds() (lo, hi []float64) {
+	if len(b.Points) == 0 {
+		return nil, nil
+	}
+	d := b.Dim()
+	lo = vec.Clone(b.Points[0])
+	hi = vec.Clone(b.Points[0])
+	for _, p := range b.Points[1:] {
+		for j := 0; j < d; j++ {
+			if p[j] < lo[j] {
+				lo[j] = p[j]
+			}
+			if p[j] > hi[j] {
+				hi[j] = p[j]
+			}
+		}
+	}
+	return lo, hi
+}
+
+// FromScalars builds a bag of 1-D points from a plain value slice.
+func FromScalars(t int, values []float64) Bag {
+	pts := make([][]float64, len(values))
+	for i, v := range values {
+		pts[i] = []float64{v}
+	}
+	return Bag{T: t, Points: pts}
+}
+
+// Scalars extracts the flat value slice from a bag of 1-D points.
+// It panics if the bag is not one-dimensional.
+func (b Bag) Scalars() []float64 {
+	if b.Len() > 0 && b.Dim() != 1 {
+		panic(fmt.Sprintf("bag: Scalars on %d-dimensional bag", b.Dim()))
+	}
+	out := make([]float64, len(b.Points))
+	for i, p := range b.Points {
+		out[i] = p[0]
+	}
+	return out
+}
+
+// Sequence is an ordered series of bags, one per time step.
+type Sequence []Bag
+
+// MeanSequence reduces each bag to its sample mean, producing the ordinary
+// single-vector-per-step series that existing methods require (used by the
+// Fig. 1 baseline comparison).
+func (s Sequence) MeanSequence() [][]float64 {
+	out := make([][]float64, len(s))
+	for i, b := range s {
+		out[i] = b.Mean()
+	}
+	return out
+}
+
+// Sizes returns n_t for each bag.
+func (s Sequence) Sizes() []int {
+	out := make([]int, len(s))
+	for i, b := range s {
+		out[i] = b.Len()
+	}
+	return out
+}
+
+// Bounds returns per-dimension [min, max] over every point of every bag.
+// It returns (nil, nil) if the sequence holds no points.
+func (s Sequence) Bounds() (lo, hi []float64) {
+	for _, b := range s {
+		blo, bhi := b.Bounds()
+		if blo == nil {
+			continue
+		}
+		if lo == nil {
+			lo, hi = vec.Clone(blo), vec.Clone(bhi)
+			continue
+		}
+		for j := range lo {
+			if blo[j] < lo[j] {
+				lo[j] = blo[j]
+			}
+			if bhi[j] > hi[j] {
+				hi[j] = bhi[j]
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Validate checks every bag and that all non-empty bags share a dimension.
+func (s Sequence) Validate() error {
+	d := -1
+	for i, b := range s {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("bag %d: %w", i, err)
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if d == -1 {
+			d = b.Dim()
+		} else if b.Dim() != d {
+			return fmt.Errorf("bag %d has dimension %d, want %d", i, b.Dim(), d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package bag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	b := New(7, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if b.T != 7 {
+		t.Errorf("T = %d", b.T)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Dim() != 2 {
+		t.Errorf("Dim = %d", b.Dim())
+	}
+}
+
+func TestNewPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged points")
+		}
+	}()
+	New(0, [][]float64{{1}, {1, 2}})
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Bag{}).Validate(); err != nil {
+		t.Errorf("empty bag should validate: %v", err)
+	}
+	bad := Bag{Points: [][]float64{{math.NaN()}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN point should fail validation")
+	}
+	inf := Bag{Points: [][]float64{{math.Inf(1)}}}
+	if err := inf.Validate(); err == nil {
+		t.Error("Inf point should fail validation")
+	}
+}
+
+func TestDimOfEmpty(t *testing.T) {
+	if (Bag{}).Dim() != 0 {
+		t.Error("empty bag Dim should be 0")
+	}
+	if (Bag{}).Mean() != nil {
+		t.Error("empty bag Mean should be nil")
+	}
+}
+
+func TestClone(t *testing.T) {
+	b := New(0, [][]float64{{1, 2}})
+	c := b.Clone()
+	c.Points[0][0] = 99
+	if b.Points[0][0] != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestMean(t *testing.T) {
+	b := New(0, [][]float64{{0, 0}, {2, 4}})
+	m := b.Mean()
+	if m[0] != 1 || m[1] != 2 {
+		t.Errorf("Mean = %v, want [1 2]", m)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := New(0, [][]float64{{1, -5}, {-2, 7}, {0, 0}})
+	lo, hi := b.Bounds()
+	if lo[0] != -2 || lo[1] != -5 || hi[0] != 1 || hi[1] != 7 {
+		t.Errorf("Bounds = %v %v", lo, hi)
+	}
+	lo, hi = (Bag{}).Bounds()
+	if lo != nil || hi != nil {
+		t.Error("empty Bounds should be nil")
+	}
+}
+
+func TestScalarsRoundTrip(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5}
+	b := FromScalars(2, vals)
+	if b.T != 2 || b.Dim() != 1 {
+		t.Fatalf("FromScalars: T=%d Dim=%d", b.T, b.Dim())
+	}
+	got := b.Scalars()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("Scalars = %v, want %v", got, vals)
+		}
+	}
+}
+
+func TestScalarsPanicsOnMultiDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, [][]float64{{1, 2}}).Scalars()
+}
+
+func TestSequenceMeanAndSizes(t *testing.T) {
+	s := Sequence{
+		New(0, [][]float64{{0}, {2}}),
+		New(1, [][]float64{{3}}),
+	}
+	ms := s.MeanSequence()
+	if ms[0][0] != 1 || ms[1][0] != 3 {
+		t.Errorf("MeanSequence = %v", ms)
+	}
+	sz := s.Sizes()
+	if sz[0] != 2 || sz[1] != 1 {
+		t.Errorf("Sizes = %v", sz)
+	}
+}
+
+func TestSequenceBounds(t *testing.T) {
+	s := Sequence{
+		{}, // empty bag is skipped
+		New(0, [][]float64{{1, 10}}),
+		New(1, [][]float64{{-3, 5}, {2, 20}}),
+	}
+	lo, hi := s.Bounds()
+	if lo[0] != -3 || lo[1] != 5 || hi[0] != 2 || hi[1] != 20 {
+		t.Errorf("Sequence Bounds = %v %v", lo, hi)
+	}
+	var empty Sequence
+	if lo, hi := empty.Bounds(); lo != nil || hi != nil {
+		t.Error("empty sequence bounds should be nil")
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	good := Sequence{
+		FromScalars(0, []float64{1}),
+		{},
+		FromScalars(2, []float64{2, 3}),
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good sequence rejected: %v", err)
+	}
+	mixed := Sequence{
+		FromScalars(0, []float64{1}),
+		New(1, [][]float64{{1, 2}}),
+	}
+	if err := mixed.Validate(); err == nil {
+		t.Error("mixed-dimension sequence should fail")
+	}
+}
+
+func TestMeanPropertyShiftInvariance(t *testing.T) {
+	// Property: Mean(bag + c) == Mean(bag) + c.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		d := 1 + rng.Intn(4)
+		c := rng.NormFloat64()
+		pts := make([][]float64, n)
+		shifted := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			shifted[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.NormFloat64()
+				shifted[i][j] = pts[i][j] + c
+			}
+		}
+		m1 := New(0, pts).Mean()
+		m2 := New(0, shifted).Mean()
+		for j := 0; j < d; j++ {
+			if math.Abs(m2[j]-m1[j]-c) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestNewSDARValidation(t *testing.T) {
+	if _, err := NewSDAR(0, 0.05); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := NewSDAR(2, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := NewSDAR(2, 1); err == nil {
+		t.Error("r=1 accepted")
+	}
+}
+
+func TestSDARLossSpikesAtLevelShift(t *testing.T) {
+	s, err := NewSDAR(2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(1)
+	var losses []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Normal(0, 1)
+		if i >= 100 {
+			x = rng.Normal(20, 1)
+		}
+		losses = append(losses, s.Update(x))
+	}
+	// The loss right after the shift must dwarf the steady-state loss.
+	steady := 0.0
+	for i := 50; i < 100; i++ {
+		steady += losses[i]
+	}
+	steady /= 50
+	if losses[100] < steady*5 {
+		t.Errorf("loss at shift %g, steady %g", losses[100], steady)
+	}
+	// And it must settle back down as the model adapts.
+	late := 0.0
+	for i := 180; i < 200; i++ {
+		late += losses[i]
+	}
+	late /= 20
+	if late > steady*4 {
+		t.Errorf("SDAR did not adapt: late loss %g vs steady %g", late, steady)
+	}
+}
+
+func TestSDARTracksARProcess(t *testing.T) {
+	// Feed a strongly autocorrelated AR(1) process; the fitted model
+	// must achieve much lower loss than an i.i.d.-mean model would,
+	// i.e. its predictions must use the history.
+	s, _ := NewSDAR(1, 0.02)
+	rng := randx.New(2)
+	x := 0.0
+	var preds, actuals []float64
+	for i := 0; i < 1500; i++ {
+		x = 0.95*x + rng.Normal(0, 1)
+		if i > 1000 {
+			preds = append(preds, s.predict())
+			actuals = append(actuals, x)
+		}
+		s.Update(x)
+	}
+	// Prediction residual variance must be far below the marginal
+	// variance of the process (≈ 1/(1−0.95²) ≈ 10).
+	resid := 0.0
+	for i := range preds {
+		d := actuals[i] - preds[i]
+		resid += d * d
+	}
+	resid /= float64(len(preds))
+	if resid > 4 {
+		t.Errorf("AR(1) residual variance %g; model is not using history", resid)
+	}
+}
+
+func TestChangeFinderValidation(t *testing.T) {
+	if _, err := NewChangeFinder(2, 0.05, 0, 5); err == nil {
+		t.Error("w1=0 accepted")
+	}
+	if _, err := NewChangeFinder(0, 0.05, 5, 5); err == nil {
+		t.Error("order 0 accepted")
+	}
+}
+
+func TestChangeFinderDetectsShiftInScalarSeries(t *testing.T) {
+	cf, err := NewChangeFinder(2, 0.03, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(3)
+	xs := make([]float64, 300)
+	for i := range xs {
+		if i < 150 {
+			xs[i] = rng.Normal(0, 1)
+		} else {
+			xs[i] = rng.Normal(15, 1)
+		}
+	}
+	scores := cf.Run(xs)
+	peak := 0.0
+	peakAt := 0
+	for i := 50; i < len(scores); i++ {
+		if scores[i] > peak {
+			peak, peakAt = scores[i], i
+		}
+	}
+	if peakAt < 150 || peakAt > 175 {
+		t.Errorf("ChangeFinder peak at %d, want within [150,175]", peakAt)
+	}
+}
+
+func TestChangeFinderFlatOnMeaninglessSeries(t *testing.T) {
+	// A stationary series should not produce an extreme late-series
+	// score relative to its own baseline: the max after warmup should
+	// be within a small factor of the median.
+	cf, _ := NewChangeFinder(2, 0.03, 5, 5)
+	rng := randx.New(4)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.Normal(0, 1)
+	}
+	scores := cf.Run(xs)[60:]
+	maxV, sum := math.Inf(-1), 0.0
+	for _, s := range scores {
+		if s > maxV {
+			maxV = s
+		}
+		sum += s
+	}
+	mean := sum / float64(len(scores))
+	if maxV > mean*5+10 {
+		t.Errorf("stationary series produced spike: max %g vs mean %g", maxV, mean)
+	}
+}
+
+func TestRunVectorChangeFinder(t *testing.T) {
+	rng := randx.New(5)
+	xs := make([][]float64, 200)
+	for i := range xs {
+		mu := 0.0
+		if i >= 100 {
+			mu = 10
+		}
+		xs[i] = []float64{rng.Normal(mu, 1), rng.Normal(-mu, 1)}
+	}
+	scores, err := RunVectorChangeFinder(xs, 2, 0.03, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakAt := 0
+	peak := 0.0
+	for i := 50; i < len(scores); i++ {
+		if scores[i] > peak {
+			peak, peakAt = scores[i], i
+		}
+	}
+	if peakAt < 100 || peakAt > 125 {
+		t.Errorf("vector ChangeFinder peak at %d", peakAt)
+	}
+	// Dimension mismatch error.
+	bad := [][]float64{{1, 2}, {1}}
+	if _, err := RunVectorChangeFinder(bad, 2, 0.03, 5, 5); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestRBFKernel(t *testing.T) {
+	k := RBF(1)
+	if got := k([]float64{0}, []float64{0}); got != 1 {
+		t.Errorf("K(x,x) = %g, want 1", got)
+	}
+	if got := k([]float64{0}, []float64{100}); got > 1e-10 {
+		t.Errorf("far kernel = %g, want ≈0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RBF(0) should panic")
+		}
+	}()
+	RBF(0)
+}
+
+func TestOneClassSVMValidation(t *testing.T) {
+	k := RBF(1)
+	if _, err := FitOneClassSVM(nil, 0.5, k, 100); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitOneClassSVM([][]float64{{1}}, 0, k, 100); err == nil {
+		t.Error("nu=0 accepted")
+	}
+	if _, err := FitOneClassSVM([][]float64{{1}}, 0.5, nil, 100); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestOneClassSVMSeparatesInliersFromOutliers(t *testing.T) {
+	rng := randx.New(6)
+	var pts [][]float64
+	for i := 0; i < 60; i++ {
+		pts = append(pts, []float64{rng.Normal(0, 1), rng.Normal(0, 1)})
+	}
+	m, err := FitOneClassSVM(pts, 0.2, RBF(1.5), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constraint: Σα = 1, 0 <= α <= 1/(νn).
+	sum := 0.0
+	c := 1 / (0.2 * 60)
+	for _, a := range m.Alpha {
+		if a < -1e-12 || a > c+1e-9 {
+			t.Fatalf("alpha %g outside [0, %g]", a, c)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σα = %g, want 1", sum)
+	}
+	// Decision at the center must exceed decision far away.
+	center := m.Decision([]float64{0, 0})
+	far := m.Decision([]float64{8, 8})
+	if center <= far {
+		t.Errorf("decision(center)=%g <= decision(far)=%g", center, far)
+	}
+	if far > 0 {
+		t.Errorf("far point classified as inlier: %g", far)
+	}
+}
+
+func TestKCDIndexLowForSameDistribution(t *testing.T) {
+	rng := randx.New(7)
+	mk := func() [][]float64 {
+		var pts [][]float64
+		for i := 0; i < 40; i++ {
+			pts = append(pts, []float64{rng.Normal(0, 1)})
+		}
+		return pts
+	}
+	kern := RBF(1)
+	a, err := FitOneClassSVM(mk(), 0.2, kern, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitOneClassSVM(mk(), 0.2, kern, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := KCDIndex(a, b)
+
+	var shiftedPts [][]float64
+	for i := 0; i < 40; i++ {
+		shiftedPts = append(shiftedPts, []float64{rng.Normal(6, 1)})
+	}
+	c, err := FitOneClassSVM(shiftedPts, 0.2, kern, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := KCDIndex(a, c)
+	if diff <= same*1.5 {
+		t.Errorf("KCD index: same-dist %g, shifted %g — no separation", same, diff)
+	}
+}
+
+func TestRunKCDDetectsShift(t *testing.T) {
+	rng := randx.New(8)
+	xs := make([][]float64, 120)
+	for i := range xs {
+		mu := 0.0
+		if i >= 60 {
+			mu = 8
+		}
+		xs[i] = []float64{rng.Normal(mu, 1)}
+	}
+	scores, err := RunKCD(xs, KCDConfig{Window: 20, Nu: 0.2, Sigma: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakAt, peak := 0, 0.0
+	for i, s := range scores {
+		if s > peak {
+			peak, peakAt = s, i
+		}
+	}
+	if peakAt < 55 || peakAt > 65 {
+		t.Errorf("KCD peak at %d, want near 60", peakAt)
+	}
+}
+
+func TestRunKCDShortSeries(t *testing.T) {
+	scores, err := RunKCD([][]float64{{1}, {2}}, KCDConfig{Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s != 0 {
+			t.Error("short series should give zero scores")
+		}
+	}
+}
+
+func TestMedianHeuristicSigma(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	sigma := MedianHeuristicSigma(xs)
+	if sigma <= 0 {
+		t.Errorf("sigma = %g", sigma)
+	}
+	if MedianHeuristicSigma(nil) != 1 {
+		t.Error("empty input should default to 1")
+	}
+	if MedianHeuristicSigma([][]float64{{5}, {5}}) != 1 {
+		t.Error("identical points should default to 1")
+	}
+}
+
+func TestQuickSelect(t *testing.T) {
+	rng := randx.New(9)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		k := rng.Intn(n)
+		cp := append([]float64(nil), xs...)
+		quickSelect(cp, k)
+		// cp[k] must be the k-th order statistic.
+		less := 0
+		for _, v := range xs {
+			if v < cp[k] {
+				less++
+			}
+		}
+		if less > k {
+			t.Fatalf("trial %d: %d values below selected k=%d", trial, less, k)
+		}
+	}
+}

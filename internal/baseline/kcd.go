@@ -1,0 +1,321 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Kernel is a positive-definite kernel function.
+type Kernel func(a, b []float64) float64
+
+// RBF returns a Gaussian kernel with bandwidth sigma:
+// K(a,b) = exp(−‖a−b‖² / (2σ²)).
+func RBF(sigma float64) Kernel {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("baseline: RBF sigma must be positive, got %g", sigma))
+	}
+	inv := 1 / (2 * sigma * sigma)
+	return func(a, b []float64) float64 {
+		return math.Exp(-vec.SqDist2(a, b) * inv)
+	}
+}
+
+// OneClassSVM is a ν-one-class SVM trained by SMO-style coordinate
+// descent: minimize ½ αᵀKα subject to Σα = 1, 0 ≤ α_i ≤ 1/(ν·n).
+type OneClassSVM struct {
+	Alpha []float64
+	Rho   float64 // offset: ρ = wᵀφ(x_sv) for margin support vectors
+	X     [][]float64
+	K     Kernel
+}
+
+// FitOneClassSVM trains a one-class SVM on points with parameter ν in
+// (0, 1] controlling the outlier fraction.
+func FitOneClassSVM(points [][]float64, nu float64, k Kernel, maxIter int) (*OneClassSVM, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: no points to fit")
+	}
+	if nu <= 0 || nu > 1 {
+		return nil, fmt.Errorf("baseline: nu must be in (0,1], got %g", nu)
+	}
+	if k == nil {
+		return nil, fmt.Errorf("baseline: kernel is required")
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	c := 1 / (nu * float64(n))
+	if c*float64(n) < 1 {
+		return nil, fmt.Errorf("baseline: infeasible nu=%g for n=%d", nu, n)
+	}
+
+	// Gram matrix.
+	gram := make([][]float64, n)
+	for i := range gram {
+		gram[i] = make([]float64, n)
+		for j := range gram[i] {
+			gram[i][j] = k(points[i], points[j])
+		}
+	}
+
+	// Feasible start: fill the first ⌈νn⌉ points up to the cap.
+	alpha := make([]float64, n)
+	remaining := 1.0
+	for i := 0; i < n && remaining > 0; i++ {
+		a := math.Min(c, remaining)
+		alpha[i] = a
+		remaining -= a
+	}
+	// Gradient g = K·α.
+	g := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				g[i] += gram[i][j] * alpha[j]
+			}
+		}
+	}
+
+	const tol = 1e-6
+	for iter := 0; iter < maxIter; iter++ {
+		// Working pair: i can grow (α_i < C) with minimal gradient;
+		// j can shrink (α_j > 0) with maximal gradient.
+		i, j := -1, -1
+		gi, gj := math.Inf(1), math.Inf(-1)
+		for t := 0; t < n; t++ {
+			if alpha[t] < c-1e-14 && g[t] < gi {
+				gi, i = g[t], t
+			}
+			if alpha[t] > 1e-14 && g[t] > gj {
+				gj, j = g[t], t
+			}
+		}
+		if i == -1 || j == -1 || gj-gi < tol {
+			break // KKT-optimal
+		}
+		eta := gram[i][i] + gram[j][j] - 2*gram[i][j]
+		if eta < 1e-12 {
+			eta = 1e-12
+		}
+		delta := (gj - gi) / eta
+		delta = math.Min(delta, c-alpha[i])
+		delta = math.Min(delta, alpha[j])
+		if delta <= 0 {
+			break
+		}
+		alpha[i] += delta
+		alpha[j] -= delta
+		for t := 0; t < n; t++ {
+			g[t] += delta * (gram[t][i] - gram[t][j])
+		}
+	}
+
+	// ρ = average decision value over margin support vectors
+	// (0 < α < C); fall back to all support vectors.
+	rho, count := 0.0, 0
+	for t := 0; t < n; t++ {
+		if alpha[t] > 1e-10 && alpha[t] < c-1e-10 {
+			rho += g[t]
+			count++
+		}
+	}
+	if count == 0 {
+		for t := 0; t < n; t++ {
+			if alpha[t] > 1e-10 {
+				rho += g[t]
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		rho /= float64(count)
+	}
+	return &OneClassSVM{Alpha: alpha, Rho: rho, X: points, K: k}, nil
+}
+
+// Decision returns wᵀφ(x) − ρ; non-negative inside the learned region.
+func (m *OneClassSVM) Decision(x []float64) float64 {
+	s := 0.0
+	for i, a := range m.Alpha {
+		if a != 0 {
+			s += a * m.K(m.X[i], x)
+		}
+	}
+	return s - m.Rho
+}
+
+// wNormSq returns ‖w‖² = αᵀKα.
+func (m *OneClassSVM) wNormSq() float64 {
+	s := 0.0
+	for i, ai := range m.Alpha {
+		if ai == 0 {
+			continue
+		}
+		for j, aj := range m.Alpha {
+			if aj != 0 {
+				s += ai * aj * m.K(m.X[i], m.X[j])
+			}
+		}
+	}
+	return s
+}
+
+// KCDIndex is Desobry's dissimilarity between two one-class SVMs trained
+// on the reference and test windows: the arc between the two hyperplane
+// normals in feature space, normalized by the sum of the single-class
+// margin arcs:
+//
+//	D = arccos(w_r·w_t / ‖w_r‖‖w_t‖) /
+//	    (arccos(ρ_r/‖w_r‖) + arccos(ρ_t/‖w_t‖))
+func KCDIndex(ref, test *OneClassSVM) float64 {
+	dot := 0.0
+	for i, ai := range ref.Alpha {
+		if ai == 0 {
+			continue
+		}
+		for j, aj := range test.Alpha {
+			if aj != 0 {
+				dot += ai * aj * ref.K(ref.X[i], test.X[j])
+			}
+		}
+	}
+	nr := math.Sqrt(ref.wNormSq())
+	nt := math.Sqrt(test.wNormSq())
+	if nr == 0 || nt == 0 {
+		return 0
+	}
+	cosAngle := clampUnit(dot / (nr * nt))
+	arc := math.Acos(cosAngle)
+	margin := math.Acos(clampUnit(ref.Rho/nr)) + math.Acos(clampUnit(test.Rho/nt))
+	if margin < 1e-12 {
+		margin = 1e-12
+	}
+	return arc / margin
+}
+
+func clampUnit(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// KCDConfig parameterizes the sliding-window KCD detector.
+type KCDConfig struct {
+	// Window is the number of steps in each of the reference and test
+	// windows (default 25).
+	Window int
+	// Nu is the one-class SVM parameter (default 0.2).
+	Nu float64
+	// Sigma is the RBF bandwidth (default 1; use the median heuristic
+	// externally for real data).
+	Sigma float64
+	// MaxIter bounds SMO iterations per fit (default 1000).
+	MaxIter int
+}
+
+func (c KCDConfig) withDefaults() KCDConfig {
+	if c.Window <= 0 {
+		c.Window = 25
+	}
+	if c.Nu <= 0 || c.Nu > 1 {
+		c.Nu = 0.2
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 1
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 1000
+	}
+	return c
+}
+
+// RunKCD slides a reference window [t−W, t) and a test window [t, t+W)
+// over a vector series and emits the KCD index at each valid t. Times
+// before the windows fit get score 0. The returned slice is parallel to
+// xs.
+func RunKCD(xs [][]float64, cfg KCDConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	n := len(xs)
+	scores := make([]float64, n)
+	if n < 2*cfg.Window {
+		return scores, nil
+	}
+	kern := RBF(cfg.Sigma)
+	for t := cfg.Window; t+cfg.Window <= n; t++ {
+		ref, err := FitOneClassSVM(xs[t-cfg.Window:t], cfg.Nu, kern, cfg.MaxIter)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: KCD reference fit at %d: %w", t, err)
+		}
+		test, err := FitOneClassSVM(xs[t:t+cfg.Window], cfg.Nu, kern, cfg.MaxIter)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: KCD test fit at %d: %w", t, err)
+		}
+		scores[t] = KCDIndex(ref, test)
+	}
+	return scores, nil
+}
+
+// MedianHeuristicSigma returns the median pairwise distance of a sample
+// of the series, the standard bandwidth heuristic for RBF kernels.
+func MedianHeuristicSigma(xs [][]float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 1
+	}
+	var dists []float64
+	step := 1
+	if n > 200 {
+		step = n / 200
+	}
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			dists = append(dists, vec.Dist2(xs[i], xs[j]))
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	// Median by partial selection.
+	k := len(dists) / 2
+	quickSelect(dists, k)
+	if dists[k] <= 0 {
+		return 1
+	}
+	return dists[k]
+}
+
+// quickSelect partially sorts xs so xs[k] is the k-th order statistic.
+func quickSelect(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}

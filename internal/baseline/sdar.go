@@ -1,0 +1,236 @@
+// Package baseline implements the two single-vector-per-step comparators
+// of Fig. 1(c): ChangeFinder (Takeuchi & Yamanishi, "A unifying framework
+// for detecting outliers and change points from time series", TKDE 2006,
+// reference [8]) built on sequentially discounting AR (SDAR) models, and
+// KCD (Desobry, Davy & Doncarli, "An online kernel change detection
+// algorithm", IEEE TSP 2005, reference [9]) built on one-class SVMs.
+//
+// Both methods consume one vector per time step. The paper's point is
+// that when bags are collapsed to their sample means, these methods see
+// no signal; this package exists so the repository can regenerate that
+// comparison honestly rather than assert it.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// SDAR is a scalar sequentially-discounting AR(k) model. Statistics are
+// updated with exponential discounting factor r: newer points dominate,
+// so the model tracks drifting processes.
+type SDAR struct {
+	order    int
+	r        float64
+	mu       float64   // discounted mean
+	c        []float64 // discounted autocovariances c[0..order]
+	sigma2   float64   // discounted prediction error variance
+	histBuf  []float64 // last `order` centered observations, newest first
+	seen     int
+	coeffSet bool
+	coef     []float64
+}
+
+// NewSDAR creates a scalar SDAR model of the given AR order and discount
+// factor r in (0, 1). Typical r is 0.01-0.05.
+func NewSDAR(order int, r float64) (*SDAR, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("baseline: SDAR order must be >= 1, got %d", order)
+	}
+	if r <= 0 || r >= 1 {
+		return nil, fmt.Errorf("baseline: SDAR discount r must be in (0,1), got %g", r)
+	}
+	return &SDAR{
+		order:   order,
+		r:       r,
+		c:       make([]float64, order+1),
+		sigma2:  1,
+		histBuf: make([]float64, 0, order),
+	}, nil
+}
+
+// Update feeds x_t and returns the logarithmic loss −log p(x_t | past)
+// under the model state BEFORE incorporating x_t (the prequential score
+// the ChangeFinder framework uses).
+func (s *SDAR) Update(x float64) float64 {
+	// Score first (prediction from the old state).
+	pred := s.predict()
+	variance := s.sigma2
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	resid := x - pred
+	logLoss := 0.5*math.Log(2*math.Pi*variance) + resid*resid/(2*variance)
+
+	// Then update the discounted statistics.
+	s.mu = (1-s.r)*s.mu + s.r*x
+	xc := x - s.mu
+	// Autocovariances against the centered history.
+	s.c[0] = (1-s.r)*s.c[0] + s.r*xc*xc
+	for j := 1; j <= s.order && j <= len(s.histBuf); j++ {
+		s.c[j] = (1-s.r)*s.c[j] + s.r*xc*s.histBuf[j-1]
+	}
+	// Refit AR coefficients by Yule-Walker when enough history exists.
+	if s.seen >= s.order+1 {
+		s.fit()
+	}
+	// Discounted innovation variance (against the new prediction).
+	predNew := s.predict()
+	rn := x - predNew
+	s.sigma2 = (1-s.r)*s.sigma2 + s.r*rn*rn
+
+	// Slide the centered history (newest first).
+	if len(s.histBuf) == s.order {
+		copy(s.histBuf[1:], s.histBuf[:s.order-1])
+		s.histBuf[0] = xc
+	} else {
+		s.histBuf = append([]float64{xc}, s.histBuf...)
+	}
+	s.seen++
+	return logLoss
+}
+
+// predict returns the one-step-ahead mean from the current state.
+func (s *SDAR) predict() float64 {
+	if !s.coeffSet || len(s.histBuf) < s.order {
+		return s.mu
+	}
+	p := s.mu
+	for j := 0; j < s.order; j++ {
+		p += s.coef[j] * s.histBuf[j]
+	}
+	return p
+}
+
+// fit solves the Yule-Walker equations R·a = c for the AR coefficients,
+// where R is the Toeplitz autocovariance matrix.
+func (s *SDAR) fit() {
+	k := s.order
+	r := vec.NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			lag := i - j
+			if lag < 0 {
+				lag = -lag
+			}
+			r.Set(i, j, s.c[lag])
+		}
+		// Ridge term keeps the system solvable early on.
+		r.Set(i, i, r.At(i, i)+1e-8)
+	}
+	rhs := make([]float64, k)
+	copy(rhs, s.c[1:])
+	coef, err := vec.SolveGauss(r, rhs)
+	if err != nil {
+		return // keep previous coefficients
+	}
+	s.coef = coef
+	s.coeffSet = true
+}
+
+// ChangeFinder is the two-stage change-point detector of [8]: an SDAR
+// model scores each observation (outlier score), the scores are smoothed
+// over a window, a second SDAR model scores the smoothed series, and a
+// final smoothing yields the change-point score.
+type ChangeFinder struct {
+	stage1, stage2   *SDAR
+	smooth1, smooth2 *movingAverage
+}
+
+// NewChangeFinder builds a ChangeFinder with AR order k, discount r, and
+// smoothing windows w1 (outlier scores) and w2 (change scores).
+func NewChangeFinder(order int, r float64, w1, w2 int) (*ChangeFinder, error) {
+	if w1 < 1 || w2 < 1 {
+		return nil, fmt.Errorf("baseline: smoothing windows must be >= 1, got %d/%d", w1, w2)
+	}
+	s1, err := NewSDAR(order, r)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := NewSDAR(order, r)
+	if err != nil {
+		return nil, err
+	}
+	return &ChangeFinder{
+		stage1:  s1,
+		stage2:  s2,
+		smooth1: newMovingAverage(w1),
+		smooth2: newMovingAverage(w2),
+	}, nil
+}
+
+// Update feeds x_t and returns the change-point score at time t.
+func (cf *ChangeFinder) Update(x float64) float64 {
+	outlier := cf.stage1.Update(x)
+	smoothed := cf.smooth1.push(outlier)
+	second := cf.stage2.Update(smoothed)
+	return cf.smooth2.push(second)
+}
+
+// Run scores a whole scalar series.
+func (cf *ChangeFinder) Run(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = cf.Update(x)
+	}
+	return out
+}
+
+// RunVector scores a vector series by averaging per-dimension
+// ChangeFinder scores (each dimension gets an independent model with the
+// same hyperparameters).
+func RunVectorChangeFinder(xs [][]float64, order int, r float64, w1, w2 int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	d := len(xs[0])
+	cfs := make([]*ChangeFinder, d)
+	for j := 0; j < d; j++ {
+		cf, err := NewChangeFinder(order, r, w1, w2)
+		if err != nil {
+			return nil, err
+		}
+		cfs[j] = cf
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("baseline: vector %d has dimension %d, want %d", i, len(x), d)
+		}
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += cfs[j].Update(x[j])
+		}
+		out[i] = s / float64(d)
+	}
+	return out, nil
+}
+
+// movingAverage is a fixed-window running mean.
+type movingAverage struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+func newMovingAverage(w int) *movingAverage {
+	return &movingAverage{buf: make([]float64, w)}
+}
+
+func (m *movingAverage) push(x float64) float64 {
+	m.sum -= m.buf[m.next]
+	m.buf[m.next] = x
+	m.sum += x
+	m.next++
+	if m.next == len(m.buf) {
+		m.next = 0
+		m.full = true
+	}
+	if m.full {
+		return m.sum / float64(len(m.buf))
+	}
+	return m.sum / float64(m.next)
+}

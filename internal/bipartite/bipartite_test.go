@@ -1,0 +1,347 @@
+package bipartite
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// paperExample builds the Fig. 9 example graph: 5 sources, 4 destinations.
+// Edges (1-based in the paper, 0-based here):
+//
+//	s1→d1 w6, s1→d3 w14, s2→d1 w8, s3→d2 w11, s4→d3 w5, s4→d4 w4, s5→d3 w7
+//
+// Weights chosen so s1's out-strength is 20 and d3's in-strength 26,
+// matching the paper's worked numbers.
+func paperExample() Graph {
+	return Graph{
+		NumSrc: 5, NumDst: 4,
+		Edges: []Edge{
+			{0, 0, 6}, {0, 2, 14},
+			{1, 0, 8},
+			{2, 1, 11},
+			{3, 2, 5}, {3, 3, 4},
+			{4, 2, 7},
+		},
+	}
+}
+
+func featureVals(t *testing.T, g Graph, f Feature) []float64 {
+	t.Helper()
+	b, err := g.FeatureBag(f, 0)
+	if err != nil {
+		t.Fatalf("%v: %v", f, err)
+	}
+	return b.Scalars()
+}
+
+func TestValidate(t *testing.T) {
+	g := paperExample()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Graph{NumSrc: 1, NumDst: 1, Edges: []Edge{{5, 0, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	bad2 := Graph{NumSrc: 1, NumDst: 1, Edges: []Edge{{0, 0, 0}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestFeature1SrcDegree(t *testing.T) {
+	// Paper: "source node 1 is connected to 2 destination nodes, so its
+	// degree is 2."
+	vals := featureVals(t, paperExample(), SrcDegree)
+	if len(vals) != 5 {
+		t.Fatalf("got %d sources", len(vals))
+	}
+	if vals[0] != 2 {
+		t.Errorf("source 1 degree = %g, want 2", vals[0])
+	}
+}
+
+func TestFeature2DstDegree(t *testing.T) {
+	// Paper: "destination node 1 is connected to 2 source nodes."
+	vals := featureVals(t, paperExample(), DstDegree)
+	if vals[0] != 2 {
+		t.Errorf("destination 1 degree = %g, want 2", vals[0])
+	}
+	// d3 receives from s1, s4, s5.
+	if vals[2] != 3 {
+		t.Errorf("destination 3 degree = %g, want 3", vals[2])
+	}
+}
+
+func TestFeature3SrcSecondDegree(t *testing.T) {
+	// Paper: "source node 1 is connected to destination nodes 1 and 3,
+	// which are connected to source node 2, and source nodes 4 and 5…
+	// therefore its second degree is 3."
+	vals := featureVals(t, paperExample(), SrcSecondDegree)
+	if vals[0] != 3 {
+		t.Errorf("source 1 second degree = %g, want 3", vals[0])
+	}
+}
+
+func TestFeature4DstSecondDegree(t *testing.T) {
+	// Paper: "destination node 1 is connected to source node 1, which is
+	// connected to destination node 3. Therefore its second degree is 1.
+	// Note that source node 2 connects to destination node 1, but does
+	// not connect to any other destination nodes."
+	vals := featureVals(t, paperExample(), DstSecondDegree)
+	if vals[0] != 1 {
+		t.Errorf("destination 1 second degree = %g, want 1", vals[0])
+	}
+}
+
+func TestFeature5SrcStrength(t *testing.T) {
+	// Paper: "it would be 20 for source node 1, and 9 for source node 4."
+	vals := featureVals(t, paperExample(), SrcStrength)
+	if vals[0] != 20 {
+		t.Errorf("source 1 strength = %g, want 20", vals[0])
+	}
+	if vals[3] != 9 {
+		t.Errorf("source 4 strength = %g, want 9", vals[3])
+	}
+}
+
+func TestFeature6DstStrength(t *testing.T) {
+	// Paper: "it would be 14 for destination node 1, and 26 for
+	// destination node 3."
+	vals := featureVals(t, paperExample(), DstStrength)
+	if vals[0] != 14 {
+		t.Errorf("destination 1 strength = %g, want 14", vals[0])
+	}
+	if vals[2] != 26 {
+		t.Errorf("destination 3 strength = %g, want 26", vals[2])
+	}
+}
+
+func TestFeature7EdgeWeight(t *testing.T) {
+	vals := featureVals(t, paperExample(), EdgeWeight)
+	if len(vals) != 7 {
+		t.Fatalf("got %d edges", len(vals))
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	g := paperExample()
+	if sum != g.TotalWeight() {
+		t.Errorf("edge weights sum %g != total %g", sum, g.TotalWeight())
+	}
+}
+
+func TestFeatureSkipsIsolatedNodes(t *testing.T) {
+	g := Graph{NumSrc: 10, NumDst: 2, Edges: []Edge{{0, 0, 1}}}
+	vals := featureVals(t, g, SrcDegree)
+	if len(vals) != 1 {
+		t.Errorf("isolated sources not skipped: %v", vals)
+	}
+}
+
+func TestFeatureBagErrors(t *testing.T) {
+	g := paperExample()
+	if _, err := g.FeatureBag(Feature(0), 0); err == nil {
+		t.Error("unknown feature accepted")
+	}
+	empty := Graph{NumSrc: 3, NumDst: 3}
+	if _, err := empty.FeatureBag(SrcDegree, 0); err == nil {
+		t.Error("empty graph should error (empty bag)")
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	for _, f := range AllFeatures() {
+		if f.String() == "" {
+			t.Error("empty feature name")
+		}
+	}
+}
+
+func TestSecondDegreeParallelEdgesNotDoubleCounted(t *testing.T) {
+	g := Graph{
+		NumSrc: 2, NumDst: 1,
+		Edges: []Edge{{0, 0, 1}, {0, 0, 2}, {1, 0, 1}},
+	}
+	vals := featureVals(t, g, SrcSecondDegree)
+	if vals[0] != 1 {
+		t.Errorf("second degree with parallel edges = %g, want 1", vals[0])
+	}
+}
+
+func TestFeatureSequence(t *testing.T) {
+	graphs := []Graph{paperExample(), paperExample()}
+	seq, err := FeatureSequence(graphs, SrcStrength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || seq[1].T != 1 {
+		t.Fatalf("sequence shape wrong")
+	}
+}
+
+func smallOpts() Section53Options {
+	return Section53Options{NodeLambda: 25, Steps: 100, TotalWeight: 4000}
+}
+
+func TestSection53Changes(t *testing.T) {
+	got := TrafficVolume.Changes(100)
+	want := []int{40, 60, 80}
+	if len(got) != len(want) {
+		t.Fatalf("Changes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Changes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSection53GenerateShapes(t *testing.T) {
+	for _, d := range AllSection53() {
+		graphs, err := d.Generate(randx.New(int64(d)), smallOpts())
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if len(graphs) != 100 {
+			t.Fatalf("%v: %d graphs", d, len(graphs))
+		}
+		for i := range graphs {
+			if err := graphs[i].Validate(); err != nil {
+				t.Fatalf("%v graph %d: %v", d, i, err)
+			}
+			if len(graphs[i].Edges) == 0 {
+				t.Fatalf("%v graph %d has no edges", d, i)
+			}
+		}
+	}
+}
+
+func TestSection53InvalidID(t *testing.T) {
+	if _, err := Section53Dataset(0).Generate(randx.New(1), smallOpts()); err == nil {
+		t.Error("dataset 0 accepted")
+	}
+}
+
+func TestTrafficVolumeRises(t *testing.T) {
+	graphs, err := TrafficVolume.Generate(randx.New(1), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline block [0,40): λ=1; block a=3 covers [80,100): λ=4.
+	// Per-cell traffic must quadruple.
+	perNode := func(lo, hi int) float64 {
+		s, n := 0.0, 0
+		for t2 := lo; t2 < hi; t2++ {
+			s += graphs[t2].TotalWeight()
+			n += graphs[t2].NumSrc * graphs[t2].NumDst
+		}
+		return s / float64(n)
+	}
+	base := perNode(0, 40)
+	block3 := perNode(80, 100)
+	if block3 < 3.5*base || block3 > 4.5*base {
+		t.Errorf("block λ=4 per-cell traffic %g vs baseline %g (want ~4x)", block3, base)
+	}
+}
+
+func TestFixedTrafficIsConstant(t *testing.T) {
+	graphs, err := PartitionFixedTraffic.Generate(randx.New(2), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range graphs {
+		tw := g.TotalWeight()
+		// Rounding of community totals can shift the sum by a few units.
+		if math.Abs(tw-4000) > 4 {
+			t.Errorf("graph %d total weight %g, want 4000±4", i, tw)
+		}
+	}
+}
+
+func TestRateShuffleKeepsExpectedTraffic(t *testing.T) {
+	graphs, err := RateShuffle.Generate(randx.New(3), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected per-cell rate is Σλ/4 in every block; compare first and a
+	// late block.
+	perCell := func(lo, hi int) float64 {
+		s, n := 0.0, 0
+		for t2 := lo; t2 < hi; t2++ {
+			s += graphs[t2].TotalWeight()
+			n += graphs[t2].NumSrc * graphs[t2].NumDst
+		}
+		return s / float64(n)
+	}
+	early := perCell(0, 40)
+	late := perCell(60, 80)
+	if math.Abs(early-late) > 0.25*early {
+		t.Errorf("rate shuffle changed total traffic: %g vs %g", early, late)
+	}
+}
+
+func TestRateShufflePermutesRates(t *testing.T) {
+	// The per-block rate matrices must always be a permutation of
+	// {10,3,1,5}, consecutive blocks must differ, and — crucially for
+	// detectability with unlabeled bags — every consecutive transition
+	// must change the multiset of row sums or of column sums.
+	rowSums := func(r [2][2]float64) [2]float64 {
+		a, b := r[0][0]+r[0][1], r[1][0]+r[1][1]
+		if a > b {
+			a, b = b, a
+		}
+		return [2]float64{a, b}
+	}
+	colSums := func(r [2][2]float64) [2]float64 {
+		a, b := r[0][0]+r[1][0], r[0][1]+r[1][1]
+		if a > b {
+			a, b = b, a
+		}
+		return [2]float64{a, b}
+	}
+	for a := 0; a <= 11; a++ {
+		r := shuffledRates(a)
+		sum := r[0][0] + r[0][1] + r[1][0] + r[1][1]
+		if sum != 19 {
+			t.Fatalf("block %d rates %v do not sum to 19", a, r)
+		}
+		if a > 0 {
+			prev := shuffledRates(a - 1)
+			if rowSums(r) == rowSums(prev) && colSums(r) == colSums(prev) {
+				t.Fatalf("transition %d→%d is invisible: row sums %v, col sums %v unchanged",
+					a-1, a, rowSums(r), colSums(r))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicGivenSeed(t *testing.T) {
+	a, err := Partition.Generate(randx.New(7), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition.Generate(randx.New(7), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Edges) != len(b[i].Edges) || a[i].NumSrc != b[i].NumSrc {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := Section53Options{}.withDefaults(TrafficVolume)
+	if o.NodeLambda != 200 || o.Steps != 200 || o.TotalWeight != 100000 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o4 := Section53Options{}.withDefaults(RateShuffle)
+	if o4.Steps != 240 {
+		t.Errorf("dataset 4 default steps = %d, want 240", o4.Steps)
+	}
+}

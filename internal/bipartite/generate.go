@@ -1,0 +1,277 @@
+package bipartite
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// Section53Dataset identifies one of the four synthetic dynamic-graph
+// workloads of §5.3.
+type Section53Dataset int
+
+// The four §5.3 datasets.
+const (
+	// TrafficVolume (1): community structure fixed, every community's
+	// Poisson rate rises to a+1 inside change block a (baseline 1).
+	TrafficVolume Section53Dataset = iota + 1
+	// Partition (2): the node partitions η, ζ shift by ±0.1a inside
+	// block a; the rate matrix stays at its initial value, so total
+	// traffic shifts too.
+	Partition
+	// PartitionFixedTraffic (3): like Partition, but the TOTAL edge
+	// weight is fixed (100,000 by default) and allocated to communities
+	// by the rate ratios — only the structure changes, not the volume.
+	PartitionFixedTraffic
+	// RateShuffle (4): partitions fixed, the four community rates are
+	// interchanged in a different way in each block; the total expected
+	// traffic is invariant under the permutation.
+	RateShuffle
+)
+
+// String implements fmt.Stringer.
+func (d Section53Dataset) String() string {
+	switch d {
+	case TrafficVolume:
+		return "Dataset 1 (traffic volume)"
+	case Partition:
+		return "Dataset 2 (partition shift)"
+	case PartitionFixedTraffic:
+		return "Dataset 3 (partition shift, fixed traffic)"
+	case RateShuffle:
+		return "Dataset 4 (rate shuffle)"
+	default:
+		return fmt.Sprintf("Section53Dataset(%d)", int(d))
+	}
+}
+
+// Section53Options scales the workloads; the zero value selects the
+// paper's parameters.
+type Section53Options struct {
+	// NodeLambda is the Poisson mean of per-side node counts (paper: 200).
+	NodeLambda float64
+	// Steps overrides the sequence length (paper: 200; 240 for dataset 4).
+	Steps int
+	// TotalWeight is dataset 3's fixed total traffic (paper: 100,000).
+	TotalWeight int
+}
+
+func (o Section53Options) withDefaults(d Section53Dataset) Section53Options {
+	if o.NodeLambda <= 0 {
+		o.NodeLambda = 200
+	}
+	if o.Steps <= 0 {
+		if d == RateShuffle {
+			o.Steps = 240
+		} else {
+			o.Steps = 200
+		}
+	}
+	if o.TotalWeight <= 0 {
+		o.TotalWeight = 100000
+	}
+	return o
+}
+
+// blockLen is the paper's regime length: parameters change every 20 steps
+// starting at 1-based t = 41 (0-based index 40).
+const blockLen = 20
+
+// initial community rate matrix λ_{k,l} and partitions (§5.3).
+var initialRates = [2][2]float64{{10, 3}, {1, 5}}
+
+// Changes returns the 0-based indices where the dataset's parameters
+// change, for a sequence of the given length.
+func (d Section53Dataset) Changes(steps int) []int {
+	var out []int
+	for c := 2 * blockLen; c < steps; c += blockLen {
+		out = append(out, c)
+	}
+	return out
+}
+
+// blockIndex returns which change block 0-based step t falls into:
+// 0 = baseline (before the first change), a >= 1 = the a-th block.
+func blockIndex(t int) int {
+	if t < 2*blockLen {
+		return 0
+	}
+	return t/blockLen - 1
+}
+
+// Generate produces the time series of bipartite graphs for the dataset.
+func (d Section53Dataset) Generate(rng *randx.RNG, opts Section53Options) ([]Graph, error) {
+	if d < TrafficVolume || d > RateShuffle {
+		return nil, fmt.Errorf("bipartite: unknown §5.3 dataset %d", int(d))
+	}
+	opts = opts.withDefaults(d)
+	// Per-block parameters are drawn ONCE per block: the paper's κ in
+	// η = ζ = 0.5 + 0.1a(−1)^κ selects a direction for the whole block,
+	// not per step.
+	numBlocks := opts.Steps/blockLen + 1
+	etaByBlock := make([]float64, numBlocks)
+	for a := range etaByBlock {
+		etaByBlock[a] = 0.5
+		if a >= 1 {
+			shift := 0.1 * float64(a)
+			if rng.Bernoulli(0.5) {
+				shift = -shift
+			}
+			etaByBlock[a] = clamp01(0.5 + shift)
+		}
+	}
+	graphs := make([]Graph, opts.Steps)
+	for t := 0; t < opts.Steps; t++ {
+		a := blockIndex(t)
+		rates := initialRates
+		eta, zeta := 0.5, 0.5
+		switch d {
+		case TrafficVolume:
+			lam := 1.0
+			if a >= 1 {
+				lam = float64(a + 1)
+			}
+			rates = [2][2]float64{{lam, lam}, {lam, lam}}
+		case Partition, PartitionFixedTraffic:
+			eta = etaByBlock[a]
+			zeta = eta
+		case RateShuffle:
+			rates = shuffledRates(a)
+		}
+		g := sampleGraph(rng, opts, d, rates, eta, zeta)
+		graphs[t] = g
+	}
+	return graphs, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0.1 {
+		return 0.1
+	}
+	if x > 0.9 {
+		return 0.9
+	}
+	return x
+}
+
+// shuffledRates interchanges the four community rates differently in each
+// block (dataset 4). The multiset {10,3,1,5} is invariant, so the total
+// expected traffic is too.
+//
+// With equal partitions (η = ζ = 0.5), a permutation is visible to the
+// bag features only if it changes the multiset of row sums or of column
+// sums of the rate matrix: otherwise the distributions of every node and
+// edge statistic are literally unchanged (bags are unlabeled). The
+// schedule below cycles through four arrangements chosen so that EVERY
+// consecutive transition changes the row-sum multiset:
+//
+//	A=(10,3 / 1,5): rows {13,6}   D=(10,5 / 3,1): rows {15,4}
+//	B=(10,1 / 3,5): rows {11,8}   C=(10,5 / 1,3): rows {15,4}, cols {11,8}
+//
+// A→D→B→C→A→… changes row sums at every boundary (C→A changes {15,4} to
+// {13,6}).
+func shuffledRates(block int) [2][2]float64 {
+	perms := [][4]int{
+		{0, 1, 2, 3}, // A: baseline (10,3 / 1,5)
+		{0, 3, 1, 2}, // D: (10,5 / 3,1)
+		{0, 2, 1, 3}, // B: (10,1 / 3,5)
+		{0, 3, 2, 1}, // C: (10,5 / 1,3)
+	}
+	flat := [4]float64{initialRates[0][0], initialRates[0][1], initialRates[1][0], initialRates[1][1]}
+	p := perms[block%len(perms)]
+	return [2][2]float64{{flat[p[0]], flat[p[1]]}, {flat[p[2]], flat[p[3]]}}
+}
+
+// sampleGraph draws one bipartite snapshot.
+func sampleGraph(rng *randx.RNG, opts Section53Options, d Section53Dataset, rates [2][2]float64, eta, zeta float64) Graph {
+	ns := rng.Poisson(opts.NodeLambda)
+	nd := rng.Poisson(opts.NodeLambda)
+	if ns < 2 {
+		ns = 2
+	}
+	if nd < 2 {
+		nd = 2
+	}
+	srcSplit := int(math.Round(eta * float64(ns)))
+	dstSplit := int(math.Round(zeta * float64(nd)))
+	srcCluster := func(i int) int {
+		if i < srcSplit {
+			return 0
+		}
+		return 1
+	}
+	dstCluster := func(j int) int {
+		if j < dstSplit {
+			return 0
+		}
+		return 1
+	}
+
+	g := Graph{NumSrc: ns, NumDst: nd}
+	if d == PartitionFixedTraffic {
+		// Deterministic community totals by rate ratio, then a uniform
+		// multinomial allocation of the total weight within each
+		// community ("the weights of the edges are distributed randomly").
+		sizes := [2][2]int{}
+		for i := 0; i < ns; i++ {
+			for j := 0; j < nd; j++ {
+				sizes[srcCluster(i)][dstCluster(j)]++
+			}
+		}
+		rateSum := rates[0][0] + rates[0][1] + rates[1][0] + rates[1][1]
+		weights := map[[2]int]float64{}
+		for k := 0; k < 2; k++ {
+			for l := 0; l < 2; l++ {
+				if sizes[k][l] == 0 {
+					continue
+				}
+				communityTotal := int(math.Round(float64(opts.TotalWeight) * rates[k][l] / rateSum))
+				// Multinomial over the community's cells: throw
+				// communityTotal balls into sizes[k][l] cells. Sampling
+				// cell indices uniformly is exact and O(total).
+				counts := make(map[int]float64, sizes[k][l])
+				for b := 0; b < communityTotal; b++ {
+					counts[rng.Intn(sizes[k][l])]++
+				}
+				// Map dense cell index back to (i, j) lazily below via
+				// the same enumeration order.
+				cell := 0
+				for i := 0; i < ns; i++ {
+					if srcCluster(i) != k {
+						continue
+					}
+					for j := 0; j < nd; j++ {
+						if dstCluster(j) != l {
+							continue
+						}
+						if w := counts[cell]; w > 0 {
+							weights[[2]int{i, j}] = w
+						}
+						cell++
+					}
+				}
+			}
+		}
+		for ij, w := range weights {
+			g.Edges = append(g.Edges, Edge{Src: ij[0], Dst: ij[1], Weight: w})
+		}
+		return g
+	}
+
+	for i := 0; i < ns; i++ {
+		for j := 0; j < nd; j++ {
+			lam := rates[srcCluster(i)][dstCluster(j)]
+			w := rng.Poisson(lam)
+			if w > 0 {
+				g.Edges = append(g.Edges, Edge{Src: i, Dst: j, Weight: float64(w)})
+			}
+		}
+	}
+	return g
+}
+
+// AllSection53 lists the four datasets in paper order.
+func AllSection53() []Section53Dataset {
+	return []Section53Dataset{TrafficVolume, Partition, PartitionFixedTraffic, RateShuffle}
+}

@@ -1,0 +1,234 @@
+// Package bipartite implements weighted bipartite graphs (sender →
+// receiver communication snapshots), the seven node/edge features of
+// §5.3 that turn a graph into a bag of scalars, and the four synthetic
+// dynamic-graph workloads of §5.3. Graphs observed in different time
+// windows may have different node sets and sizes — the setting the paper
+// targets, where behaviour-vector methods (which require a fixed node
+// set) do not apply.
+package bipartite
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bag"
+)
+
+// Edge is a weighted edge from source node Src to destination node Dst.
+type Edge struct {
+	Src, Dst int
+	Weight   float64
+}
+
+// Graph is one bipartite communication snapshot. Node ids are dense:
+// sources are 0..NumSrc-1, destinations 0..NumDst-1. Zero-weight edges
+// should be omitted.
+type Graph struct {
+	NumSrc, NumDst int
+	Edges          []Edge
+}
+
+// Validate checks node id ranges and weights.
+func (g *Graph) Validate() error {
+	if g.NumSrc < 0 || g.NumDst < 0 {
+		return fmt.Errorf("bipartite: negative node counts %d/%d", g.NumSrc, g.NumDst)
+	}
+	for i, e := range g.Edges {
+		if e.Src < 0 || e.Src >= g.NumSrc {
+			return fmt.Errorf("bipartite: edge %d source %d out of range [0,%d)", i, e.Src, g.NumSrc)
+		}
+		if e.Dst < 0 || e.Dst >= g.NumDst {
+			return fmt.Errorf("bipartite: edge %d destination %d out of range [0,%d)", i, e.Dst, g.NumDst)
+		}
+		if e.Weight <= 0 {
+			return fmt.Errorf("bipartite: edge %d has non-positive weight %g", i, e.Weight)
+		}
+	}
+	return nil
+}
+
+// TotalWeight returns the sum of all edge weights (total traffic).
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, e := range g.Edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// Feature identifies one of the seven §5.3 graph features. The numeric
+// values match the paper's feature numbering (1-7).
+type Feature int
+
+// The seven features of §5.3.
+const (
+	// SrcDegree (1): number of destinations each source connects to.
+	SrcDegree Feature = iota + 1
+	// DstDegree (2): number of sources each destination connects to.
+	DstDegree
+	// SrcSecondDegree (3): number of OTHER sources each source reaches
+	// via a shared destination.
+	SrcSecondDegree
+	// DstSecondDegree (4): number of OTHER destinations each destination
+	// reaches via a shared source.
+	DstSecondDegree
+	// SrcStrength (5): total weight of edges leaving each source.
+	SrcStrength
+	// DstStrength (6): total weight of edges entering each destination.
+	DstStrength
+	// EdgeWeight (7): the weight of each edge.
+	EdgeWeight
+)
+
+// String implements fmt.Stringer.
+func (f Feature) String() string {
+	switch f {
+	case SrcDegree:
+		return "1:src-degree"
+	case DstDegree:
+		return "2:dst-degree"
+	case SrcSecondDegree:
+		return "3:src-2nd-degree"
+	case DstSecondDegree:
+		return "4:dst-2nd-degree"
+	case SrcStrength:
+		return "5:src-strength"
+	case DstStrength:
+		return "6:dst-strength"
+	case EdgeWeight:
+		return "7:edge-weight"
+	default:
+		return fmt.Sprintf("Feature(%d)", int(f))
+	}
+}
+
+// AllFeatures lists the seven features in paper order.
+func AllFeatures() []Feature {
+	return []Feature{SrcDegree, DstDegree, SrcSecondDegree, DstSecondDegree, SrcStrength, DstStrength, EdgeWeight}
+}
+
+// FeatureBag extracts feature f from the graph as a 1-D bag at time t:
+// one value per node (features 1-6) or per edge (feature 7). Nodes with
+// no incident edges are skipped (they did not participate in the window).
+func (g *Graph) FeatureBag(f Feature, t int) (bag.Bag, error) {
+	var vals []float64
+	switch f {
+	case SrcDegree:
+		deg := make([]float64, g.NumSrc)
+		for _, e := range g.Edges {
+			deg[e.Src]++
+		}
+		vals = nonZero(deg)
+	case DstDegree:
+		deg := make([]float64, g.NumDst)
+		for _, e := range g.Edges {
+			deg[e.Dst]++
+		}
+		vals = nonZero(deg)
+	case SrcSecondDegree:
+		vals = secondDegrees(g.Edges, g.NumSrc, g.NumDst, true)
+	case DstSecondDegree:
+		vals = secondDegrees(g.Edges, g.NumSrc, g.NumDst, false)
+	case SrcStrength:
+		str := make([]float64, g.NumSrc)
+		for _, e := range g.Edges {
+			str[e.Src] += e.Weight
+		}
+		vals = nonZero(str)
+	case DstStrength:
+		str := make([]float64, g.NumDst)
+		for _, e := range g.Edges {
+			str[e.Dst] += e.Weight
+		}
+		vals = nonZero(str)
+	case EdgeWeight:
+		vals = make([]float64, 0, len(g.Edges))
+		for _, e := range g.Edges {
+			vals = append(vals, e.Weight)
+		}
+	default:
+		return bag.Bag{}, fmt.Errorf("bipartite: unknown feature %d", int(f))
+	}
+	if len(vals) == 0 {
+		return bag.Bag{}, fmt.Errorf("bipartite: feature %v produced an empty bag (graph has %d edges)", f, len(g.Edges))
+	}
+	return bag.FromScalars(t, vals), nil
+}
+
+// nonZero keeps the entries of participating nodes (degree/strength > 0).
+func nonZero(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if v != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// secondDegrees computes, for every participating node on one side, the
+// number of OTHER same-side nodes reachable through a shared neighbour.
+// Bitsets make this O(E · n/64) instead of O(E · n).
+func secondDegrees(edges []Edge, numSrc, numDst int, forSources bool) []float64 {
+	n, m := numSrc, numDst // n = side being scored, m = opposite side
+	side := func(e Edge) (own, other int) { return e.Src, e.Dst }
+	if !forSources {
+		n, m = numDst, numSrc
+		side = func(e Edge) (own, other int) { return e.Dst, e.Src }
+	}
+	words := (n + 63) / 64
+	// neighbour bitset of each opposite-side node over the scored side.
+	opp := make([][]uint64, m)
+	adj := make([][]int, n) // opposite-side neighbours of each scored node
+	active := make([]bool, n)
+	for _, e := range edges {
+		own, other := side(e)
+		if opp[other] == nil {
+			opp[other] = make([]uint64, words)
+		}
+		opp[other][own/64] |= 1 << (own % 64)
+		adj[own] = append(adj[own], other)
+		active[own] = true
+	}
+	var out []float64
+	acc := make([]uint64, words)
+	for v := 0; v < n; v++ {
+		if !active[v] {
+			continue
+		}
+		for i := range acc {
+			acc[i] = 0
+		}
+		seen := make(map[int]bool, len(adj[v]))
+		for _, o := range adj[v] {
+			if seen[o] {
+				continue // parallel edges
+			}
+			seen[o] = true
+			for i, w := range opp[o] {
+				acc[i] |= w
+			}
+		}
+		acc[v/64] &^= 1 << (v % 64) // exclude the node itself
+		count := 0
+		for _, w := range acc {
+			count += bits.OnesCount64(w)
+		}
+		out = append(out, float64(count))
+	}
+	return out
+}
+
+// FeatureSequence extracts feature f from every graph of a time series,
+// producing the bag sequence the detector consumes.
+func FeatureSequence(graphs []Graph, f Feature) (bag.Sequence, error) {
+	seq := make(bag.Sequence, len(graphs))
+	for t := range graphs {
+		b, err := graphs[t].FeatureBag(f, t)
+		if err != nil {
+			return nil, fmt.Errorf("graph %d: %w", t, err)
+		}
+		seq[t] = b
+	}
+	return seq, nil
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/vec"
+)
+
+// threeBlobs generates three well-separated Gaussian blobs in 2-D.
+func threeBlobs(rng *randx.RNG, n int) (points [][]float64, labels []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		p := []float64{
+			centers[c][0] + rng.Normal(0, 0.5),
+			centers[c][1] + rng.Normal(0, 0.5),
+		}
+		points = append(points, p)
+		labels = append(labels, c)
+	}
+	return points, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := randx.New(1)
+	points, labels := threeBlobs(rng, 300)
+	res, err := KMeans(points, 3, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("got %d centers, want 3", len(res.Centers))
+	}
+	// Every true cluster must map to exactly one k-means cluster.
+	seen := map[int]map[int]int{}
+	for i, a := range res.Assign {
+		if seen[labels[i]] == nil {
+			seen[labels[i]] = map[int]int{}
+		}
+		seen[labels[i]][a]++
+	}
+	for lbl, m := range seen {
+		if len(m) != 1 {
+			t.Errorf("true cluster %d split across k-means clusters %v", lbl, m)
+		}
+	}
+	// Counts sum to the number of points.
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != len(points) {
+		t.Errorf("counts sum to %d, want %d", total, len(points))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := randx.New(1)
+	if _, err := KMeans(nil, 3, Config{}, rng); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, Config{}, rng); err == nil {
+		t.Error("expected error on k=0")
+	}
+}
+
+func TestKMeansFewerPointsThanK(t *testing.T) {
+	rng := randx.New(2)
+	points := [][]float64{{0}, {10}}
+	res, err := KMeans(points, 5, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) > 2 {
+		t.Fatalf("got %d centers for 2 points", len(res.Centers))
+	}
+}
+
+func TestKMeansAllIdenticalPoints(t *testing.T) {
+	rng := randx.New(3)
+	points := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	res, err := KMeans(points, 3, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 {
+		t.Fatalf("identical points should give one center, got %d", len(res.Centers))
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansK1IsMean(t *testing.T) {
+	rng := randx.New(4)
+	points := [][]float64{{0, 0}, {2, 2}, {4, 4}}
+	res, err := KMeans(points, 1, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centers[0][0]-2) > 1e-9 || math.Abs(res.Centers[0][1]-2) > 1e-9 {
+		t.Errorf("k=1 center = %v, want mean [2 2]", res.Centers[0])
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	rng := randx.New(5)
+	points, _ := threeBlobs(rng, 150)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 3, 6} {
+		res, err := KMeans(points, k, Config{}, randx.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("inertia should not increase with k: k=%d inertia=%g prev=%g", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	points, _ := threeBlobs(randx.New(6), 90)
+	a, _ := KMeans(points, 3, Config{}, randx.New(7))
+	b, _ := KMeans(points, 3, Config{}, randx.New(7))
+	for i := range a.Centers {
+		if vec.Dist2(a.Centers[i], b.Centers[i]) != 0 {
+			t.Fatal("same seed must give identical clustering")
+		}
+	}
+}
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	rng := randx.New(8)
+	points, labels := threeBlobs(rng, 150)
+	res, err := KMedoids(points, 3, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("got %d medoids, want 3", len(res.Centers))
+	}
+	// Medoids must be actual data points.
+	for _, m := range res.Centers {
+		found := false
+		for _, p := range points {
+			if vec.SqDist2(m, p) == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("medoid is not a data point")
+		}
+	}
+	seen := map[int]map[int]int{}
+	for i, a := range res.Assign {
+		if seen[labels[i]] == nil {
+			seen[labels[i]] = map[int]int{}
+		}
+		seen[labels[i]][a]++
+	}
+	for lbl, m := range seen {
+		if len(m) != 1 {
+			t.Errorf("true cluster %d split: %v", lbl, m)
+		}
+	}
+}
+
+func TestKMedoidsErrors(t *testing.T) {
+	rng := randx.New(1)
+	if _, err := KMedoids(nil, 2, Config{}, rng); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := KMedoids([][]float64{{1}}, -1, Config{}, rng); err == nil {
+		t.Error("expected error on k<1")
+	}
+}
+
+func TestKMedoidsRobustToOutlier(t *testing.T) {
+	// A single extreme outlier should not drag a medoid far from the mass.
+	rng := randx.New(9)
+	var points [][]float64
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.Normal(0, 0.3)})
+	}
+	points = append(points, []float64{1000})
+	res, err := KMedoids(points, 1, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centers[0][0]) > 2 {
+		t.Errorf("medoid dragged to %v by outlier", res.Centers[0])
+	}
+}
+
+func TestOnlineQuantizer(t *testing.T) {
+	rng := randx.New(10)
+	points, _ := threeBlobs(rng, 600)
+	o := NewOnline(3, 0.5)
+	for _, p := range points {
+		o.Push(p)
+	}
+	res := o.Result(points)
+	if len(res.Centers) != 3 {
+		t.Fatalf("got %d centers", len(res.Centers))
+	}
+	// Each center should sit near one of the true blob centers.
+	truth := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for _, ctr := range res.Centers {
+		bestD := math.Inf(1)
+		for _, tc := range truth {
+			if d := vec.Dist2(ctr, tc); d < bestD {
+				bestD = d
+			}
+		}
+		if bestD > 1.5 {
+			t.Errorf("online center %v is %g away from any true center", ctr, bestD)
+		}
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != len(points) {
+		t.Errorf("assigned counts sum to %d, want %d", total, len(points))
+	}
+}
+
+func TestOnlineDuplicateSeeds(t *testing.T) {
+	o := NewOnline(3, 0.5)
+	o.Push([]float64{1})
+	o.Push([]float64{1}) // duplicate must not become a second center
+	o.Push([]float64{2})
+	if len(o.Centers) != 2 {
+		t.Fatalf("got %d centers, want 2", len(o.Centers))
+	}
+}
+
+func TestOnlineDefaultRate(t *testing.T) {
+	o := NewOnline(2, -1)
+	if o.rate0 != 0.5 {
+		t.Errorf("default rate = %g, want 0.5", o.rate0)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxIters != 50 || c.Tol != 1e-6 {
+		t.Errorf("defaults = %+v", c)
+	}
+	c2 := Config{MaxIters: 5, Tol: 0.1}.withDefaults()
+	if c2.MaxIters != 5 || c2.Tol != 0.1 {
+		t.Errorf("explicit config overridden: %+v", c2)
+	}
+}

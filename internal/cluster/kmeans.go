@@ -1,0 +1,184 @@
+// Package cluster implements the vector quantizers used to build bag
+// signatures (§3.1 of the paper): k-means with k-means++ seeding,
+// k-medoids by Voronoi iteration, and an online competitive-learning
+// quantizer in the spirit of (unsupervised) learning vector quantization.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/vec"
+)
+
+// Result holds the output of a quantizer: K centers, the assignment of
+// every input point to a center, and the per-center counts.
+type Result struct {
+	Centers [][]float64
+	Assign  []int
+	Counts  []int
+	// Inertia is the total squared distance from points to their centers.
+	Inertia float64
+	// Iters is the number of refinement iterations performed.
+	Iters int
+}
+
+// Config controls the iterative quantizers.
+type Config struct {
+	// MaxIters bounds Lloyd/Voronoi iterations (default 50).
+	MaxIters int
+	// Tol stops iterating when the relative inertia improvement drops
+	// below it (default 1e-6).
+	Tol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// KMeans clusters points into at most k clusters with Lloyd's algorithm
+// seeded by k-means++. If there are fewer than k distinct points, fewer
+// clusters are returned. It returns an error for k < 1 or empty input.
+func KMeans(points [][]float64, k int, cfg Config, rng *randx.RNG) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points to cluster")
+	}
+	cfg = cfg.withDefaults()
+	if k > len(points) {
+		k = len(points)
+	}
+
+	centers := seedPlusPlus(points, k, rng)
+	k = len(centers) // may shrink when points collide
+
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+	prevInertia := math.Inf(1)
+	var inertia float64
+	iters := 0
+	for ; iters < cfg.MaxIters; iters++ {
+		// Assignment step.
+		inertia = 0
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := vec.SqDist2(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			counts[best]++
+			inertia += bestD
+		}
+		// Update step.
+		d := len(points[0])
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			vec.AddScaled(next[assign[i]], 1, p)
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Empty cluster: reseat at the point farthest from its
+				// current center to keep K clusters alive.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if dd := vec.SqDist2(p, centers[assign[i]]); dd > farD {
+						far, farD = i, dd
+					}
+				}
+				next[c] = vec.Clone(points[far])
+				continue
+			}
+			vec.Scale(next[c], 1/float64(counts[c]))
+		}
+		centers = next
+		if prevInertia-inertia <= cfg.Tol*math.Max(prevInertia, 1e-300) {
+			iters++
+			break
+		}
+		prevInertia = inertia
+	}
+
+	// Final assignment against the last centers.
+	inertia = 0
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if d := vec.SqDist2(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		counts[best]++
+		inertia += bestD
+	}
+	return dropEmpty(&Result{Centers: centers, Assign: assign, Counts: counts, Inertia: inertia, Iters: iters}), nil
+}
+
+// seedPlusPlus chooses initial centers by the k-means++ D² weighting.
+// Duplicate points may yield fewer than k centers.
+func seedPlusPlus(points [][]float64, k int, rng *randx.RNG) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(len(points))
+	centers = append(centers, vec.Clone(points[first]))
+
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = vec.SqDist2(p, centers[0])
+	}
+	for len(centers) < k {
+		total := vec.Sum(d2)
+		if total <= 0 {
+			break // all remaining points coincide with a center
+		}
+		idx := rng.Categorical(d2)
+		centers = append(centers, vec.Clone(points[idx]))
+		for i, p := range points {
+			if d := vec.SqDist2(p, centers[len(centers)-1]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// dropEmpty removes zero-count centers (possible after degenerate inputs)
+// and renumbers assignments.
+func dropEmpty(r *Result) *Result {
+	remap := make([]int, len(r.Centers))
+	var centers [][]float64
+	var counts []int
+	for c := range r.Centers {
+		if r.Counts[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(centers)
+		centers = append(centers, r.Centers[c])
+		counts = append(counts, r.Counts[c])
+	}
+	for i, a := range r.Assign {
+		r.Assign[i] = remap[a]
+	}
+	r.Centers, r.Counts = centers, counts
+	return r
+}

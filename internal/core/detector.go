@@ -1,0 +1,358 @@
+// Package core implements the paper's change-point detector for
+// sequences of bags-of-data. It wires together the pipeline of §3-§4:
+//
+//	bag → signature (quantization)            internal/signature
+//	    → pairwise EMD in a metric space      internal/emd
+//	    → change-point score (Eq. 16/17)      internal/infoest
+//	    → Bayesian-bootstrap interval (Eq.19) internal/bootstrap
+//	    → adaptive alarm κ_t > 0 (Eq. 18/20)
+//
+// The detector is a streaming structure: bags are Pushed one at a time,
+// a rolling window of the last τ+τ′ signatures is kept, and the log-EMD
+// matrix over the window is updated incrementally — each new bag costs
+// τ+τ′−1 EMD evaluations, after which the score and its entire bootstrap
+// interval are computed without touching the distances again.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bag"
+	"repro/internal/bootstrap"
+	"repro/internal/emd"
+	"repro/internal/infoest"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// ScoreType selects which change-point score the detector computes.
+type ScoreType int
+
+const (
+	// ScoreKL is the symmetrized-KL score (Eq. 17): conservative and
+	// robust, less sensitive to minor changes.
+	ScoreKL ScoreType = iota
+	// ScoreLR is the log-likelihood-ratio score (Eq. 16): sensitive to
+	// small changes but noisier. Requires TauPrime >= 2.
+	ScoreLR
+)
+
+// String implements fmt.Stringer.
+func (s ScoreType) String() string {
+	switch s {
+	case ScoreKL:
+		return "KL"
+	case ScoreLR:
+		return "LR"
+	default:
+		return fmt.Sprintf("ScoreType(%d)", int(s))
+	}
+}
+
+// Weighting selects the base weights γ of the window signatures.
+type Weighting int
+
+const (
+	// WeightUniform gives every signature weight 1/τ (resp. 1/τ′).
+	WeightUniform Weighting = iota
+	// WeightDiscounted applies the hyperbolic time discounting of
+	// Eq. 15: weight ∝ 1/|t−i|, favouring signatures near the
+	// inspection point.
+	WeightDiscounted
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Tau is the reference window length τ (number of bags before the
+	// inspection point). Required, >= 1.
+	Tau int
+	// TauPrime is the test window length τ′ (number of bags from the
+	// inspection point onward). Required, >= 1 (>= 2 for ScoreLR).
+	TauPrime int
+	// Score selects the change-point score (default ScoreKL).
+	Score ScoreType
+	// Weighting selects the base weights (default WeightUniform, which
+	// is what the paper uses in all of §5).
+	Weighting Weighting
+	// Builder converts bags into signatures. Required.
+	Builder signature.Builder
+	// Ground is the EMD ground distance; nil selects Euclidean with the
+	// exact 1-D fast path.
+	Ground emd.Ground
+	// Bootstrap configures the confidence intervals (T replicates and
+	// significance level α).
+	Bootstrap bootstrap.Config
+	// LogFloor clamps distances before taking logs; 0 selects
+	// infoest.DefaultFloor.
+	LogFloor float64
+	// RawMass keeps the raw cluster counts as signature masses, enabling
+	// the partial-matching EMD between bags of different sizes. The
+	// default (false) normalizes each signature to unit mass, which makes
+	// EMD a proper metric between the bag distributions and is the
+	// behaviour used for all reproduced experiments.
+	RawMass bool
+	// Seed drives the bootstrap resampling (and nothing else).
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Tau < 1 {
+		return fmt.Errorf("core: Tau must be >= 1, got %d", c.Tau)
+	}
+	if c.TauPrime < 1 {
+		return fmt.Errorf("core: TauPrime must be >= 1, got %d", c.TauPrime)
+	}
+	if c.Score == ScoreLR && c.TauPrime < 2 {
+		return fmt.Errorf("core: ScoreLR requires TauPrime >= 2, got %d", c.TauPrime)
+	}
+	if c.Score != ScoreKL && c.Score != ScoreLR {
+		return fmt.Errorf("core: unknown score type %d", c.Score)
+	}
+	if c.Builder == nil {
+		return fmt.Errorf("core: Builder is required")
+	}
+	return nil
+}
+
+// Point is the detector output for one inspection time.
+type Point struct {
+	// T is the inspection time: the index of the first test bag.
+	T int
+	// Score is the change-point score at the base weights.
+	Score float64
+	// Interval is the 100(1−α)% Bayesian-bootstrap confidence interval
+	// of the score.
+	Interval bootstrap.Interval
+	// Kappa is κ_t = ξ_lo(t) − ξ_up(t−τ′); NaN while the earlier
+	// interval is not yet available.
+	Kappa float64
+	// Alarm reports κ_t > 0: a significant change at time T.
+	Alarm bool
+}
+
+// Detector is the streaming change-point detector. Create with New, feed
+// with Push. A Detector is not safe for concurrent use.
+type Detector struct {
+	cfg     Config
+	gRef    []float64 // base weights θ for the reference window
+	gTest   []float64 // base weights θ for the test window
+	window  []signature.Signature
+	logD    [][]float64 // rolling (τ+τ′)² log-EMD matrix, time order
+	rng     *randx.RNG
+	count   int                        // bags pushed so far
+	history map[int]bootstrap.Interval // interval per inspection time
+}
+
+// New validates cfg and returns a ready Detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		cfg:     cfg,
+		rng:     randx.New(cfg.Seed),
+		history: make(map[int]bootstrap.Interval),
+	}
+	switch cfg.Weighting {
+	case WeightDiscounted:
+		d.gRef = infoest.DiscountedRefWeights(cfg.Tau)
+		d.gTest = infoest.DiscountedTestWeights(cfg.TauPrime)
+	default:
+		d.gRef = infoest.UniformWeights(cfg.Tau)
+		d.gTest = infoest.UniformWeights(cfg.TauPrime)
+	}
+	// The rolling log-distance matrix grows with the window: row i gains
+	// one column per push until the window is full, at which point every
+	// row has length τ+τ′.
+	d.logD = make([][]float64, 0, cfg.Tau+cfg.TauPrime)
+	return d, nil
+}
+
+// WindowSize returns τ+τ′, the number of bags the detector retains.
+func (d *Detector) WindowSize() int { return d.cfg.Tau + d.cfg.TauPrime }
+
+// Push feeds the next bag. Once at least τ+τ′ bags have arrived it
+// returns the Point for inspection time t = count−τ′ (the scores lag the
+// stream by τ′−1 steps, which is inherent to the method: the test window
+// must fill before time t can be judged). Before that it returns nil.
+func (d *Detector) Push(b bag.Bag) (*Point, error) {
+	sig, err := d.cfg.Builder.Build(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: building signature for bag %d: %w", d.count, err)
+	}
+	if !d.cfg.RawMass {
+		sig = sig.Normalized()
+	}
+	w := d.WindowSize()
+	if len(d.window) == w {
+		// Slide: drop the oldest signature and shift the distance matrix
+		// up-left by one.
+		copy(d.window, d.window[1:])
+		d.window = d.window[:w-1]
+		for i := 0; i < w-1; i++ {
+			copy(d.logD[i], d.logD[i+1][1:w])
+			d.logD[i] = d.logD[i][:w-1]
+		}
+		d.logD = d.logD[:w-1]
+	}
+	// Append the new signature and its distances to the retained ones.
+	row := make([]float64, len(d.window)+1)
+	for i, s := range d.window {
+		dist, err := emd.Distance(s, sig, d.cfg.Ground)
+		if err != nil {
+			return nil, fmt.Errorf("core: EMD between bags %d and %d: %w", d.count-len(d.window)+i, d.count, err)
+		}
+		l := infoest.ClampLog(dist, d.cfg.LogFloor)
+		row[i] = l
+		d.logD[i] = append(d.logD[i], l)
+	}
+	d.window = append(d.window, sig)
+	d.logD = append(d.logD, row)
+	d.count++
+
+	if len(d.window) < w {
+		return nil, nil
+	}
+	return d.inspect()
+}
+
+// inspect scores the current full window. The inspection time is
+// t = count − τ′ (the first bag of the test half).
+func (d *Detector) inspect() (*Point, error) {
+	t := d.count - d.cfg.TauPrime
+	win := infoest.Window{LogD: d.logD, NRef: d.cfg.Tau, NTest: d.cfg.TauPrime}
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	score := func(gRef, gTest []float64) float64 {
+		if d.cfg.Score == ScoreLR {
+			return infoest.ScoreLR(win, gRef, gTest)
+		}
+		return infoest.ScoreKL(win, gRef, gTest)
+	}
+	iv, err := bootstrap.ConfidenceInterval(score, d.gRef, d.gTest, d.cfg.Bootstrap, d.rng)
+	if err != nil {
+		return nil, err
+	}
+	d.history[t] = iv
+
+	p := &Point{T: t, Score: iv.Point, Interval: iv, Kappa: math.NaN()}
+	if prev, ok := d.history[t-d.cfg.TauPrime]; ok {
+		p.Kappa = bootstrap.Kappa(iv, prev)
+		p.Alarm = p.Kappa > 0
+	}
+	// Trim history: only intervals within τ′ of the newest time are
+	// ever consulted again.
+	delete(d.history, t-2*d.cfg.TauPrime)
+	return p, nil
+}
+
+// Run processes a whole sequence through a fresh detector and returns
+// every produced Point in time order.
+func Run(cfg Config, seq bag.Sequence) ([]Point, error) {
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Point
+	for _, b := range seq {
+		p, err := d.Push(b)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out, nil
+}
+
+// Alarms extracts the inspection times with raised alarms.
+func Alarms(points []Point) []int {
+	var out []int
+	for _, p := range points {
+		if p.Alarm {
+			out = append(out, p.T)
+		}
+	}
+	return out
+}
+
+// Scores extracts the score series (parallel to the points).
+func Scores(points []Point) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Score
+	}
+	return out
+}
+
+// PairwiseEMD builds signatures for every bag of seq and returns the full
+// symmetric EMD matrix between them (used by the Fig. 6 EMD heatmaps and
+// the MDS embeddings). Signatures are normalized unless rawMass is true.
+// The n(n−1)/2 distance computations are independent and run on all
+// available CPUs; the result is deterministic regardless of scheduling.
+func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground, rawMass bool) ([][]float64, error) {
+	// Signature construction stays sequential: builders may hold state
+	// (e.g. a shared RNG for k-means seeding) and their draw order is
+	// part of the reproducibility contract.
+	sigs, err := signature.BuildSequence(builder, seq)
+	if err != nil {
+		return nil, err
+	}
+	if !rawMass {
+		for i := range sigs {
+			sigs[i] = sigs[i].Normalized()
+		}
+	}
+	n := len(sigs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+
+	type pair struct{ i, j int }
+	jobs := make(chan pair, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errOnce := sync.Once{}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				dist, err := emd.Distance(sigs[p.i], sigs[p.j], ground)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("core: EMD(%d,%d): %w", p.i, p.j, err)
+					})
+					continue
+				}
+				// Distinct cells per job: no locking needed.
+				m[p.i][p.j] = dist
+				m[p.j][p.i] = dist
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			jobs <- pair{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bag"
+	"repro/internal/bootstrap"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// TestQuickScoreInvariantToWithinBagOrder: the pipeline must treat bags
+// as SETS — permuting the points inside every bag cannot change any
+// score (histogram signatures are exactly permutation invariant).
+func TestQuickScoreInvariantToWithinBagOrder(t *testing.T) {
+	cfg := Config{
+		Tau: 3, TauPrime: 3,
+		Builder:   signature.NewHistogramBuilder(-8, 8, 24),
+		Bootstrap: bootstrap.Config{Replicates: 50},
+		Seed:      1,
+	}
+	f := func(seed int64) bool {
+		rng := randx.New(seed)
+		seq := make(bag.Sequence, 10)
+		shuffled := make(bag.Sequence, 10)
+		for ts := range seq {
+			mu := 0.0
+			if ts >= 5 {
+				mu = 3
+			}
+			vals := make([]float64, 30+rng.Intn(20))
+			for i := range vals {
+				vals[i] = rng.Normal(mu, 1)
+			}
+			seq[ts] = bag.FromScalars(ts, vals)
+			perm := append([]float64(nil), vals...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			shuffled[ts] = bag.FromScalars(ts, perm)
+		}
+		a, err1 := Run(cfg, seq)
+		b, err2 := Run(cfg, shuffled)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScoreShiftInvariance: translating every point of every bag by
+// a constant must not change any score (EMD is translation invariant and
+// the histogram range shifts with the data).
+func TestQuickScoreShiftInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := randx.New(seed)
+		shift := rng.Normal(0, 10)
+		mk := func(offset float64, hb signature.Builder) []Point {
+			seq := make(bag.Sequence, 10)
+			gen := randx.New(seed + 7)
+			for ts := range seq {
+				mu := offset
+				if ts >= 5 {
+					mu += 3
+				}
+				vals := make([]float64, 40)
+				for i := range vals {
+					vals[i] = gen.Normal(mu, 1)
+				}
+				seq[ts] = bag.FromScalars(ts, vals)
+			}
+			cfg := Config{
+				Tau: 3, TauPrime: 3,
+				Builder:   hb,
+				Bootstrap: bootstrap.Config{Replicates: 50},
+				Seed:      1,
+			}
+			pts, err := Run(cfg, seq)
+			if err != nil {
+				return nil
+			}
+			return pts
+		}
+		a := mk(0, signature.NewHistogramBuilder(-8, 11, 38))
+		b := mk(shift, signature.NewHistogramBuilder(-8+shift, 11+shift, 38))
+		if a == nil || b == nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntervalAlwaysBracketsSomeReplicate: Lo <= Up for every
+// produced interval, and the point score is finite.
+func TestQuickIntervalSane(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := randx.New(seed)
+		seq := make(bag.Sequence, 12)
+		for ts := range seq {
+			vals := make([]float64, 20+rng.Intn(30))
+			for i := range vals {
+				vals[i] = rng.Normal(float64(ts%3), 1+rng.Float64())
+			}
+			seq[ts] = bag.FromScalars(ts, vals)
+		}
+		cfg := Config{
+			Tau: 3, TauPrime: 3,
+			Builder:   signature.NewHistogramBuilder(-6, 9, 30),
+			Bootstrap: bootstrap.Config{Replicates: 60},
+			Seed:      seed,
+		}
+		points, err := Run(cfg, seq)
+		if err != nil {
+			return false
+		}
+		for _, p := range points {
+			if p.Interval.Lo > p.Interval.Up {
+				return false
+			}
+			if math.IsNaN(p.Score) || math.IsInf(p.Score, 0) {
+				return false
+			}
+			// An alarm implies κ > 0 and a defined previous interval.
+			if p.Alarm && !(p.Kappa > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDuplicatingEveryPointInvariant: duplicating every point of
+// every bag doubles the masses but must not change normalized-signature
+// scores.
+func TestQuickDuplicatingEveryPointInvariant(t *testing.T) {
+	cfg := Config{
+		Tau: 3, TauPrime: 3,
+		Builder:   signature.NewHistogramBuilder(-8, 8, 24),
+		Bootstrap: bootstrap.Config{Replicates: 40},
+		Seed:      3,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := make(bag.Sequence, 8)
+		doubled := make(bag.Sequence, 8)
+		for ts := range seq {
+			n := 20 + rng.Intn(20)
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = rng.NormFloat64() * 2
+			}
+			seq[ts] = bag.FromScalars(ts, vals)
+			doubled[ts] = bag.FromScalars(ts, append(append([]float64{}, vals...), vals...))
+		}
+		a, err1 := Run(cfg, seq)
+		b, err2 := Run(cfg, doubled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,548 @@
+package emd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+func sig1d(xs []float64, ws []float64) signature.Signature {
+	s := signature.Signature{Weights: ws}
+	for _, x := range xs {
+		s.Centers = append(s.Centers, []float64{x})
+	}
+	return s
+}
+
+func TestDistanceSinglePointSignatures(t *testing.T) {
+	// With one center each, EMD equals the ground distance regardless of
+	// the (possibly unequal) masses.
+	s := signature.Signature{Centers: [][]float64{{0, 0}}, Weights: []float64{2}}
+	u := signature.Signature{Centers: [][]float64{{3, 4}}, Weights: []float64{7}}
+	got, err := Distance(s, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("EMD = %g, want 5", got)
+	}
+}
+
+func TestDistanceIdenticalSignatures(t *testing.T) {
+	s := sig1d([]float64{1, 2, 3}, []float64{1, 2, 1})
+	got, err := Distance(s, s.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-9 {
+		t.Errorf("EMD of identical signatures = %g, want 0", got)
+	}
+}
+
+func TestDistanceKnownTextbook(t *testing.T) {
+	// Two bins at 0 and 1 with mass (1,0) vs (0,1): all mass moves
+	// distance 1.
+	s := sig1d([]float64{0, 1}, []float64{1, 0.0000001})
+	u := sig1d([]float64{0, 1}, []float64{0.0000001, 1})
+	got, err := DistanceFlow(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.EMD-1) > 1e-5 {
+		t.Errorf("EMD = %g, want ~1", got.EMD)
+	}
+}
+
+func TestDistanceHandComputed2x2(t *testing.T) {
+	// Supplies (5, 5) at x=0 and x=10; demands (5, 5) at x=1 and x=9.
+	// Optimal: 0→1 (cost 1×5) and 10→9 (cost 1×5); EMD = 10/10 = 1.
+	s := sig1d([]float64{0, 10}, []float64{5, 5})
+	u := sig1d([]float64{1, 9}, []float64{5, 5})
+	got, err := Distance(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("EMD = %g, want 1", got)
+	}
+}
+
+func TestDistancePartialMatching(t *testing.T) {
+	// Source has total 10 at x=0, sink has total 4 at x=3. Only
+	// min(10,4)=4 units move, each over distance 3 → EMD = 12/4 = 3.
+	s := sig1d([]float64{0}, []float64{10})
+	u := sig1d([]float64{3}, []float64{4})
+	res, err := DistanceFlow(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Amount-4) > 1e-9 {
+		t.Errorf("Amount = %g, want 4", res.Amount)
+	}
+	if math.Abs(res.EMD-3) > 1e-8 {
+		t.Errorf("EMD = %g, want 3", res.EMD)
+	}
+}
+
+func TestDistancePartialPrefersNearMass(t *testing.T) {
+	// Sink needs 1 unit at x=0. Source has 1 at x=1 and 1 at x=100.
+	// Partial matching should take the near unit: EMD = 1.
+	s := sig1d([]float64{1, 100}, []float64{1, 1})
+	u := sig1d([]float64{0}, []float64{1})
+	got, err := Distance(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-8 {
+		t.Errorf("EMD = %g, want 1 (nearest unit only)", got)
+	}
+}
+
+func TestDistanceErrors(t *testing.T) {
+	good := sig1d([]float64{0}, []float64{1})
+	bad := signature.Signature{}
+	if _, err := Distance(bad, good, nil); err == nil {
+		t.Error("expected error for invalid source")
+	}
+	if _, err := Distance(good, bad, nil); err == nil {
+		t.Error("expected error for invalid sink")
+	}
+	twoD := signature.Signature{Centers: [][]float64{{1, 2}}, Weights: []float64{1}}
+	if _, err := Distance(good, twoD, nil); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+	badGround := func(a, b []float64) float64 { return math.NaN() }
+	u := sig1d([]float64{1}, []float64{1})
+	if _, err := Distance(good, u, badGround); err == nil {
+		t.Error("expected error for NaN ground distance")
+	}
+}
+
+func TestDistance1DErrors(t *testing.T) {
+	s := sig1d([]float64{0}, []float64{1})
+	u := sig1d([]float64{1}, []float64{2})
+	if _, err := Distance1D(s, u); err == nil {
+		t.Error("expected error for unbalanced totals")
+	}
+	twoD := signature.Signature{Centers: [][]float64{{1, 2}}, Weights: []float64{1}}
+	if _, err := Distance1D(twoD, twoD); err == nil {
+		t.Error("expected error for 2-D input")
+	}
+}
+
+func TestZeroWeightEntriesIgnored(t *testing.T) {
+	s := sig1d([]float64{0, 55}, []float64{1, 0})
+	u := sig1d([]float64{2}, []float64{1})
+	got, err := Distance(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("EMD = %g, want 2 (zero-weight center must not matter)", got)
+	}
+}
+
+func randomSig(rng *randx.RNG, dim, maxLen int, total float64) signature.Signature {
+	n := 1 + rng.Intn(maxLen)
+	var s signature.Signature
+	raw := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		s.Centers = append(s.Centers, rng.NormalVec(dim, 0, 3))
+		raw[i] = rng.Gamma(1, 1) + 0.01
+		sum += raw[i]
+	}
+	for i := range raw {
+		raw[i] *= total / sum
+	}
+	s.Weights = raw
+	return s
+}
+
+func TestSimplexMatches1DClosedForm(t *testing.T) {
+	// Strong cross-validation: the exact CDF formula and the simplex must
+	// agree on random balanced 1-D instances.
+	rng := randx.New(42)
+	for trial := 0; trial < 300; trial++ {
+		s := randomSig(rng, 1, 8, 1)
+		u := randomSig(rng, 1, 8, 1)
+		fast, err := Distance1D(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DistanceFlow(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-res.EMD) > 1e-7*(1+fast) {
+			t.Fatalf("trial %d: closed form %g vs simplex %g", trial, fast, res.EMD)
+		}
+	}
+}
+
+func TestAutoFastPathAgreesWithExplicitGround(t *testing.T) {
+	rng := randx.New(43)
+	for trial := 0; trial < 100; trial++ {
+		s := randomSig(rng, 1, 6, 1)
+		u := randomSig(rng, 1, 6, 1)
+		auto, err := Distance(s, u, nil) // 1-D fast path
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := Distance(s, u, Euclidean) // simplex
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(auto-explicit) > 1e-7*(1+auto) {
+			t.Fatalf("trial %d: fast path %g vs simplex %g", trial, auto, explicit)
+		}
+	}
+}
+
+// referenceMinCostFlow solves the balanced transportation problem exactly
+// with successive shortest paths (Bellman-Ford on the residual network).
+// It is an independent algorithm from the transportation simplex and is
+// used only to cross-check it on small instances.
+func referenceMinCostFlow(supply, demand []float64, cost [][]float64) float64 {
+	m, n := len(supply), len(demand)
+	// Node ids: 0 = source, 1..m supplies, m+1..m+n demands, m+n+1 sink.
+	src, snk := 0, m+n+1
+	numNodes := m + n + 2
+	type arc struct {
+		to, rev int
+		cap, c  float64
+	}
+	graph := make([][]arc, numNodes)
+	addArc := func(u, v int, capacity, c float64) {
+		graph[u] = append(graph[u], arc{v, len(graph[v]), capacity, c})
+		graph[v] = append(graph[v], arc{u, len(graph[u]) - 1, 0, -c})
+	}
+	total := 0.0
+	for i := range supply {
+		addArc(src, 1+i, supply[i], 0)
+		total += supply[i]
+	}
+	for j := range demand {
+		addArc(m+1+j, snk, demand[j], 0)
+	}
+	for i := range supply {
+		for j := range demand {
+			addArc(1+i, m+1+j, math.Inf(1), cost[i][j])
+		}
+	}
+	totalCost := 0.0
+	flowed := 0.0
+	for flowed < total-1e-9 {
+		// Bellman-Ford shortest path by cost on the residual graph.
+		dist := make([]float64, numNodes)
+		prevNode := make([]int, numNodes)
+		prevArc := make([]int, numNodes)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevNode[i] = -1
+		}
+		dist[src] = 0
+		for iter := 0; iter < numNodes; iter++ {
+			changed := false
+			for u := 0; u < numNodes; u++ {
+				if math.IsInf(dist[u], 1) {
+					continue
+				}
+				for ai, a := range graph[u] {
+					if a.cap <= 1e-12 {
+						continue
+					}
+					if nd := dist[u] + a.c; nd < dist[a.to]-1e-15 {
+						dist[a.to] = nd
+						prevNode[a.to] = u
+						prevArc[a.to] = ai
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		if math.IsInf(dist[snk], 1) {
+			break // no augmenting path left
+		}
+		// Bottleneck along the path.
+		bottleneck := math.Inf(1)
+		for v := snk; v != src; v = prevNode[v] {
+			a := graph[prevNode[v]][prevArc[v]]
+			if a.cap < bottleneck {
+				bottleneck = a.cap
+			}
+		}
+		for v := snk; v != src; v = prevNode[v] {
+			a := &graph[prevNode[v]][prevArc[v]]
+			a.cap -= bottleneck
+			graph[v][a.rev].cap += bottleneck
+			totalCost += bottleneck * a.c
+		}
+		flowed += bottleneck
+	}
+	return totalCost
+}
+
+func TestSimplexMatchesBruteForce(t *testing.T) {
+	rng := randx.New(44)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(5)
+		supply := make([]float64, m)
+		demand := make([]float64, n)
+		// Integer masses keep brute force exact.
+		totS := 0
+		for i := range supply {
+			v := 1 + rng.Intn(5)
+			supply[i] = float64(v)
+			totS += v
+		}
+		rem := totS
+		for j := range demand {
+			if j == n-1 {
+				demand[j] = float64(rem)
+			} else {
+				v := rng.Intn(rem + 1)
+				demand[j] = float64(v)
+				rem -= v
+			}
+		}
+		cost := make([][]float64, m)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		// Skip degenerate zero demand columns for brute force fairness:
+		// solveTransport handles them; brute force does too (min=0).
+		flow, gotCost, err := solveTransport(supply, demand, cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := referenceMinCostFlow(supply, demand, cost)
+		if math.Abs(gotCost-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: simplex cost %g, reference min-cost flow %g", trial, gotCost, want)
+		}
+		// Flow conservation.
+		for i := range supply {
+			rowSum := 0.0
+			for j := range demand {
+				rowSum += flow[i][j]
+			}
+			if rowSum > supply[i]+1e-6 {
+				t.Fatalf("trial %d: row %d ships %g > supply %g", trial, i, rowSum, supply[i])
+			}
+		}
+	}
+}
+
+func TestEMDIsMetricOnNormalizedSignatures(t *testing.T) {
+	// With equal totals and a metric ground distance, EMD is a metric
+	// (Rubner 2000). Check symmetry and triangle inequality on random 2-D
+	// signatures. A suboptimal solver would violate these regularly.
+	rng := randx.New(45)
+	for trial := 0; trial < 100; trial++ {
+		a := randomSig(rng, 2, 5, 1)
+		b := randomSig(rng, 2, 5, 1)
+		c := randomSig(rng, 2, 5, 1)
+		dab, err1 := Distance(a, b, Euclidean)
+		dba, err2 := Distance(b, a, Euclidean)
+		dac, err3 := Distance(a, c, Euclidean)
+		dcb, err4 := Distance(c, b, Euclidean)
+		for _, err := range []error{err1, err2, err3, err4} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if math.Abs(dab-dba) > 1e-7*(1+dab) {
+			t.Fatalf("trial %d: EMD not symmetric: %g vs %g", trial, dab, dba)
+		}
+		if dab > dac+dcb+1e-7 {
+			t.Fatalf("trial %d: triangle inequality violated: %g > %g + %g", trial, dab, dac, dcb)
+		}
+	}
+}
+
+func TestEMDTranslationInvariance(t *testing.T) {
+	rng := randx.New(46)
+	for trial := 0; trial < 50; trial++ {
+		a := randomSig(rng, 2, 5, 1)
+		b := randomSig(rng, 2, 5, 1)
+		shift := rng.NormalVec(2, 0, 10)
+		at, bt := a.Clone(), b.Clone()
+		for _, cs := range [][][]float64{at.Centers, bt.Centers} {
+			for _, c := range cs {
+				c[0] += shift[0]
+				c[1] += shift[1]
+			}
+		}
+		d1, _ := Distance(a, b, Euclidean)
+		d2, _ := Distance(at, bt, Euclidean)
+		if math.Abs(d1-d2) > 1e-7*(1+d1) {
+			t.Fatalf("trial %d: translation changed EMD: %g vs %g", trial, d1, d2)
+		}
+	}
+}
+
+func TestEMDScaleEquivariance(t *testing.T) {
+	// Scaling all centers by α scales EMD by α under the L2 ground.
+	rng := randx.New(47)
+	for trial := 0; trial < 50; trial++ {
+		a := randomSig(rng, 2, 5, 1)
+		b := randomSig(rng, 2, 5, 1)
+		const alpha = 2.5
+		as, bs := a.Clone(), b.Clone()
+		for _, cs := range [][][]float64{as.Centers, bs.Centers} {
+			for _, c := range cs {
+				c[0] *= alpha
+				c[1] *= alpha
+			}
+		}
+		d1, _ := Distance(a, b, Euclidean)
+		d2, _ := Distance(as, bs, Euclidean)
+		if math.Abs(d2-alpha*d1) > 1e-7*(1+d1) {
+			t.Fatalf("trial %d: scale equivariance broken: %g vs %g", trial, d2, alpha*d1)
+		}
+	}
+}
+
+func TestEMDMassScaleInvariance(t *testing.T) {
+	// EMD (Eq. 12 normalizes by total flow) is invariant to scaling BOTH
+	// signatures' weights by the same factor.
+	rng := randx.New(48)
+	for trial := 0; trial < 50; trial++ {
+		a := randomSig(rng, 2, 5, 3)
+		b := randomSig(rng, 2, 5, 3)
+		a2, b2 := a.Clone(), b.Clone()
+		for i := range a2.Weights {
+			a2.Weights[i] *= 10
+		}
+		for i := range b2.Weights {
+			b2.Weights[i] *= 10
+		}
+		d1, _ := Distance(a, b, Euclidean)
+		d2, _ := Distance(a2, b2, Euclidean)
+		if math.Abs(d1-d2) > 1e-7*(1+d1) {
+			t.Fatalf("trial %d: mass scaling changed EMD: %g vs %g", trial, d1, d2)
+		}
+	}
+}
+
+func TestFlowSatisfiesConstraints(t *testing.T) {
+	rng := randx.New(49)
+	for trial := 0; trial < 50; trial++ {
+		a := randomSig(rng, 2, 6, 2+rng.Float64())
+		b := randomSig(rng, 2, 6, 2+rng.Float64())
+		res, err := DistanceFlow(a, b, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totA, totB := a.TotalWeight(), b.TotalWeight()
+		wantAmount := math.Min(totA, totB)
+		if math.Abs(res.Amount-wantAmount) > 1e-9*(1+wantAmount) {
+			t.Fatalf("Amount = %g, want %g", res.Amount, wantAmount)
+		}
+		// Eq. 9: row sums <= supplies; Eq. 10: column sums <= demands;
+		// Eq. 11: total flow == min of totals.
+		totalFlow := 0.0
+		for i, row := range res.Flow {
+			rowSum := 0.0
+			for _, f := range row {
+				if f < -1e-9 {
+					t.Fatal("negative flow")
+				}
+				rowSum += f
+			}
+			if rowSum > a.Weights[i]+1e-6*(1+a.Weights[i]) {
+				t.Fatalf("row %d flow %g exceeds supply %g", i, rowSum, a.Weights[i])
+			}
+			totalFlow += rowSum
+		}
+		for j := range res.Flow[0] {
+			colSum := 0.0
+			for i := range res.Flow {
+				colSum += res.Flow[i][j]
+			}
+			if colSum > b.Weights[j]+1e-6*(1+b.Weights[j]) {
+				t.Fatalf("col %d flow %g exceeds demand %g", j, colSum, b.Weights[j])
+			}
+		}
+		if math.Abs(totalFlow-wantAmount) > 1e-6*(1+wantAmount) {
+			t.Fatalf("total flow %g, want %g", totalFlow, wantAmount)
+		}
+	}
+}
+
+func TestGroundDistanceVariants(t *testing.T) {
+	s := signature.Signature{Centers: [][]float64{{0, 0}}, Weights: []float64{1}}
+	u := signature.Signature{Centers: [][]float64{{3, 4}}, Weights: []float64{1}}
+	cases := map[string]struct {
+		g    Ground
+		want float64
+	}{
+		"euclidean": {Euclidean, 5},
+		"manhattan": {Manhattan, 7},
+		"sq":        {SqEuclidean, 25},
+		"chebyshev": {Chebyshev, 4},
+	}
+	for name, tc := range cases {
+		got, err := Distance(s, u, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: EMD = %g, want %g", name, got, tc.want)
+		}
+	}
+}
+
+func TestSolveTransportRejectsUnbalanced(t *testing.T) {
+	_, _, err := solveTransport([]float64{1}, []float64{2}, [][]float64{{1}})
+	if err == nil {
+		t.Fatal("expected unbalanced error")
+	}
+}
+
+func TestSolveTransportEmpty(t *testing.T) {
+	if _, _, err := solveTransport(nil, nil, nil); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+}
+
+func TestLargerRandomInstancesStayConsistent(t *testing.T) {
+	// Sanity at larger sizes: EMD between a distribution and itself after
+	// center permutation is ~0; EMD grows with a deterministic shift.
+	rng := randx.New(50)
+	a := randomSig(rng, 3, 30, 1)
+	perm := a.Clone()
+	// Reverse centers+weights (same multiset).
+	for i, j := 0, perm.Len()-1; i < j; i, j = i+1, j-1 {
+		perm.Centers[i], perm.Centers[j] = perm.Centers[j], perm.Centers[i]
+		perm.Weights[i], perm.Weights[j] = perm.Weights[j], perm.Weights[i]
+	}
+	d, err := Distance(a, perm, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-7 {
+		t.Errorf("EMD to permuted self = %g, want ~0", d)
+	}
+
+	shifted := a.Clone()
+	for _, c := range shifted.Centers {
+		c[0] += 5
+	}
+	d2, err := Distance(a, shifted, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2-5) > 1e-6 {
+		t.Errorf("EMD after +5 shift = %g, want 5", d2)
+	}
+}

@@ -1,0 +1,126 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// quickSig draws a small random 1-D signature from a quick-check rand
+// source.
+func quickSig(r *rand.Rand, maxLen int) signature.Signature {
+	n := 1 + r.Intn(maxLen)
+	s := signature.Signature{Weights: make([]float64, n)}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		s.Centers = append(s.Centers, []float64{r.NormFloat64() * 5})
+		w := r.Float64() + 0.01
+		s.Weights[i] = w
+		total += w
+	}
+	for i := range s.Weights {
+		s.Weights[i] /= total
+	}
+	return s
+}
+
+func TestQuickEMDNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickSig(r, 6), quickSig(r, 6)
+		d, err := Distance(a, b, Euclidean)
+		return err == nil && d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEMDIdentityOfIndiscernibles(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := quickSig(r, 6)
+		d, err := Distance(a, a.Clone(), Euclidean)
+		return err == nil && d < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEMDSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickSig(r, 6), quickSig(r, 6)
+		d1, err1 := Distance(a, b, Euclidean)
+		d2, err2 := Distance(b, a, Euclidean)
+		return err1 == nil && err2 == nil && math.Abs(d1-d2) < 1e-7*(1+d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEMDDominatedByCenterSpread(t *testing.T) {
+	// EMD between normalized 1-D signatures is bounded above by the
+	// diameter of the union of supports.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickSig(r, 6), quickSig(r, 6)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range []signature.Signature{a, b} {
+			for _, c := range s.Centers {
+				lo = math.Min(lo, c[0])
+				hi = math.Max(hi, c[0])
+			}
+		}
+		d, err := Distance(a, b, Euclidean)
+		return err == nil && d <= (hi-lo)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEMDMergingCoincidentCentersInvariant(t *testing.T) {
+	// Splitting one center's mass into two coincident entries must not
+	// change the distance (signature representation invariance).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickSig(r, 5), quickSig(r, 5)
+		split := a.Clone()
+		// Split entry 0 into two halves at the same location.
+		half := split.Weights[0] / 2
+		split.Weights[0] = half
+		split.Centers = append(split.Centers, append([]float64(nil), split.Centers[0]...))
+		split.Weights = append(split.Weights, half)
+		d1, err1 := Distance(a, b, Euclidean)
+		d2, err2 := Distance(split, b, Euclidean)
+		return err1 == nil && err2 == nil && math.Abs(d1-d2) < 1e-7*(1+d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPartialEMDAmount(t *testing.T) {
+	// With unequal totals, the shipped amount must equal the smaller
+	// total (Eq. 11) regardless of structure.
+	rng := randx.New(99)
+	for trial := 0; trial < 100; trial++ {
+		a := randomSig(rng, 2, 5, 1+rng.Float64()*4)
+		b := randomSig(rng, 2, 5, 1+rng.Float64()*4)
+		res, err := DistanceFlow(a, b, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Min(a.TotalWeight(), b.TotalWeight())
+		if math.Abs(res.Amount-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: amount %g, want %g", trial, res.Amount, want)
+		}
+	}
+}

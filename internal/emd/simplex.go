@@ -1,0 +1,285 @@
+package emd
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveTransport solves the balanced transportation problem
+//
+//	min Σ f_ij c_ij   s.t.  Σ_j f_ij = supply_i, Σ_i f_ij = demand_j, f >= 0
+//
+// with the transportation simplex: a northwest-corner initial basis
+// followed by MODI (u-v) pivoting. Charnes' epsilon perturbation is
+// applied to the supplies to prevent degenerate cycling; the perturbation
+// is O(1e-10) of the total mass and its effect on the objective is far
+// below the tolerances used by callers.
+//
+// Σ supply must equal Σ demand (the caller balances with a dummy node).
+func solveTransport(supply, demand []float64, cost [][]float64) (flow [][]float64, totalCost float64, err error) {
+	m, n := len(supply), len(demand)
+	if m == 0 || n == 0 {
+		return nil, 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m, n)
+	}
+	totS, totD := 0.0, 0.0
+	for _, v := range supply {
+		totS += v
+	}
+	for _, v := range demand {
+		totD += v
+	}
+	if math.Abs(totS-totD) > 1e-9*math.Max(totS, totD)+1e-300 {
+		return nil, 0, fmt.Errorf("emd: unbalanced problem: supply %g vs demand %g", totS, totD)
+	}
+
+	// Charnes perturbation: supply_i += eps, demand_last += m*eps.
+	eps := totS * 1e-11
+	if eps == 0 {
+		eps = 1e-11
+	}
+	a := make([]float64, m)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = supply[i] + eps
+	}
+	copy(b, demand)
+	b[n-1] += float64(m) * eps
+
+	// --- Northwest corner initial basis: exactly m+n-1 basic cells. ---
+	type basicCell struct {
+		i, j int
+		f    float64
+	}
+	basis := make([]basicCell, 0, m+n-1)
+	ra, rb := make([]float64, m), make([]float64, n)
+	copy(ra, a)
+	copy(rb, b)
+	for i, j := 0, 0; ; {
+		f := math.Min(ra[i], rb[j])
+		if f < 0 {
+			f = 0 // guard against rounding residue
+		}
+		basis = append(basis, basicCell{i, j, f})
+		ra[i] -= f
+		rb[j] -= f
+		if i == m-1 && j == n-1 {
+			break
+		}
+		// Advance exactly one index per cell so the walk from (0,0) to
+		// (m-1,n-1) yields exactly m+n-1 basic cells regardless of
+		// floating-point wobble in the residuals.
+		switch {
+		case j == n-1:
+			i++
+		case i == m-1:
+			j++
+		case ra[i] <= rb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if len(basis) != m+n-1 {
+		return nil, 0, fmt.Errorf("emd: internal: NW corner produced %d basic cells, want %d", len(basis), m+n-1)
+	}
+
+	// Scratch used across iterations.
+	u := make([]float64, m)
+	v := make([]float64, n)
+	uSet := make([]bool, m)
+	vSet := make([]bool, n)
+	rowAdj := make([][]int, m) // basis indices in each row
+	colAdj := make([][]int, n)
+	maxCost := 0.0
+	for i := range cost {
+		for _, c := range cost[i] {
+			if c > maxCost {
+				maxCost = c
+			}
+		}
+	}
+	tol := 1e-10 * (1 + maxCost)
+
+	maxIters := 200 + 20*m*n
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return nil, 0, fmt.Errorf("emd: simplex did not converge in %d iterations (%dx%d)", maxIters, m, n)
+		}
+
+		// Rebuild adjacency of the basis tree.
+		for i := range rowAdj {
+			rowAdj[i] = rowAdj[i][:0]
+		}
+		for j := range colAdj {
+			colAdj[j] = colAdj[j][:0]
+		}
+		for bi, c := range basis {
+			rowAdj[c.i] = append(rowAdj[c.i], bi)
+			colAdj[c.j] = append(colAdj[c.j], bi)
+		}
+
+		// --- MODI potentials: solve u_i + v_j = c_ij over the tree. ---
+		for i := range uSet {
+			uSet[i] = false
+		}
+		for j := range vSet {
+			vSet[j] = false
+		}
+		u[0], uSet[0] = 0, true
+		// BFS over tree nodes; queue holds (isRow, index).
+		queue := make([]int, 0, m+n) // encode rows as i, cols as m+j
+		queue = append(queue, 0)
+		for len(queue) > 0 {
+			node := queue[0]
+			queue = queue[1:]
+			if node < m {
+				i := node
+				for _, bi := range rowAdj[i] {
+					j := basis[bi].j
+					if !vSet[j] {
+						v[j] = cost[i][j] - u[i]
+						vSet[j] = true
+						queue = append(queue, m+j)
+					}
+				}
+			} else {
+				j := node - m
+				for _, bi := range colAdj[j] {
+					i := basis[bi].i
+					if !uSet[i] {
+						u[i] = cost[i][j] - v[j]
+						uSet[i] = true
+						queue = append(queue, i)
+					}
+				}
+			}
+		}
+		for i := range uSet {
+			if !uSet[i] {
+				return nil, 0, fmt.Errorf("emd: internal: basis tree disconnected at row %d", i)
+			}
+		}
+		for j := range vSet {
+			if !vSet[j] {
+				return nil, 0, fmt.Errorf("emd: internal: basis tree disconnected at column %d", j)
+			}
+		}
+
+		// --- Entering cell: most negative reduced cost. ---
+		enterI, enterJ := -1, -1
+		worst := -tol
+		for i := 0; i < m; i++ {
+			ci := cost[i]
+			ui := u[i]
+			for j := 0; j < n; j++ {
+				if r := ci[j] - ui - v[j]; r < worst {
+					worst = r
+					enterI, enterJ = i, j
+				}
+			}
+		}
+		if enterI == -1 {
+			break // optimal
+		}
+
+		// --- Find the cycle: path from row enterI to column enterJ in
+		// the basis tree, then alternate +θ/−θ around it. ---
+		parentEdge := make([]int, m+n) // basis index used to reach node
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+		visited := make([]bool, m+n)
+		visited[enterI] = true
+		queue = queue[:0]
+		queue = append(queue, enterI)
+		found := false
+		for len(queue) > 0 && !found {
+			node := queue[0]
+			queue = queue[1:]
+			if node < m {
+				i := node
+				for _, bi := range rowAdj[i] {
+					nj := m + basis[bi].j
+					if !visited[nj] {
+						visited[nj] = true
+						parentEdge[nj] = bi
+						if nj == m+enterJ {
+							found = true
+							break
+						}
+						queue = append(queue, nj)
+					}
+				}
+			} else {
+				j := node - m
+				for _, bi := range colAdj[j] {
+					ni := basis[bi].i
+					if !visited[ni] {
+						visited[ni] = true
+						parentEdge[ni] = bi
+						queue = append(queue, ni)
+					}
+				}
+			}
+		}
+		if !found {
+			return nil, 0, fmt.Errorf("emd: internal: no cycle for entering cell (%d,%d)", enterI, enterJ)
+		}
+		// Walk back from column enterJ to row enterI collecting the path
+		// of basis edges. The cycle is: entering cell (+θ), then path
+		// edges alternating −θ, +θ, …
+		var path []int
+		node := m + enterJ
+		for node != enterI {
+			bi := parentEdge[node]
+			path = append(path, bi)
+			c := basis[bi]
+			if node == m+c.j {
+				node = c.i
+			} else {
+				node = m + c.j
+			}
+		}
+		// Odd positions (0-based) in `path` are the −θ edges: path[0]
+		// shares column enterJ with the entering cell, so it loses flow.
+		theta := math.Inf(1)
+		leave := -1
+		for p := 0; p < len(path); p += 2 {
+			bi := path[p]
+			if basis[bi].f < theta {
+				theta = basis[bi].f
+				leave = bi
+			}
+		}
+		if leave == -1 {
+			return nil, 0, fmt.Errorf("emd: internal: unbounded pivot")
+		}
+		for p, bi := range path {
+			if p%2 == 0 {
+				basis[bi].f -= theta
+				if basis[bi].f < 0 {
+					basis[bi].f = 0 // rounding residue
+				}
+			} else {
+				basis[bi].f += theta
+			}
+		}
+		basis[leave] = basicCell{enterI, enterJ, theta}
+	}
+
+	// Extract the flow matrix; clamp perturbation-sized values to zero.
+	flow = make([][]float64, m)
+	for i := range flow {
+		flow[i] = make([]float64, n)
+	}
+	clamp := eps * float64(m+n) * 4
+	for _, c := range basis {
+		f := c.f
+		if f <= clamp {
+			continue
+		}
+		flow[c.i][c.j] = f
+		totalCost += f * cost[c.i][c.j]
+	}
+	return flow, totalCost, nil
+}

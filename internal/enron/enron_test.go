@@ -1,0 +1,180 @@
+package enron
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/randx"
+)
+
+func TestWeeks(t *testing.T) {
+	w := Weeks()
+	// 2000-07-01 to 2002-05-31 is exactly 100 weeks of 7 days.
+	if w < 99 || w > 101 {
+		t.Errorf("Weeks() = %d, want ≈100", w)
+	}
+}
+
+func TestEventsTable(t *testing.T) {
+	evs := Events()
+	if len(evs) != 17 {
+		t.Fatalf("%d events, want 17", len(evs))
+	}
+	// Date-ordered and within the study period.
+	for i, e := range evs {
+		if e.Description == "" {
+			t.Errorf("event %d has no description", i)
+		}
+		if e.Date.Before(Start) || e.Date.After(End) {
+			t.Errorf("event %d date %v outside study period", i, e.Date)
+		}
+		if i > 0 && e.Date.Before(evs[i-1].Date) {
+			t.Errorf("events out of order at %d", i)
+		}
+		if e.Week() < 0 || e.Week() >= Weeks() {
+			t.Errorf("event %d week %d out of range", i, e.Week())
+		}
+	}
+	// Fig. 11 ground truth: the paper detects all but the Andersen
+	// firing (Jan 15, 2002); GraphScope detects 8.
+	paperCount, gsCount := 0, 0
+	for _, e := range evs {
+		if e.DetectedByPaper {
+			paperCount++
+		}
+		if e.DetectedByGraphScope {
+			gsCount++
+		}
+	}
+	if paperCount != 16 {
+		t.Errorf("paper detections = %d, want 16", paperCount)
+	}
+	if gsCount != 8 {
+		t.Errorf("GraphScope detections = %d, want 8", gsCount)
+	}
+	// The paper must detect every GraphScope event ("we were able to
+	// detect most of the events that were detected in [22] along with
+	// some extras").
+	for _, e := range evs {
+		if e.DetectedByGraphScope && !e.DetectedByPaper {
+			t.Errorf("event %q marked GraphScope-only", e.Description)
+		}
+	}
+}
+
+func TestEventWeekComputation(t *testing.T) {
+	e := Event{Date: Start}
+	if e.Week() != 0 {
+		t.Errorf("Start week = %d", e.Week())
+	}
+	e2 := Event{Date: Start.AddDate(0, 0, 21)}
+	if e2.Week() != 3 {
+		t.Errorf("three weeks in = %d", e2.Week())
+	}
+}
+
+func smallCfg() Config {
+	return Config{Employees: 40, Departments: 4, BaseRate: 0.8, Participation: 0.6}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := Generate(smallCfg(), randx.New(1))
+	if len(c.Graphs) != Weeks() {
+		t.Fatalf("%d graphs, want %d", len(c.Graphs), Weeks())
+	}
+	if len(c.WeekDates) != len(c.Graphs) {
+		t.Fatal("week dates not parallel")
+	}
+	if !c.WeekDates[0].Equal(Start) {
+		t.Errorf("week 0 date %v", c.WeekDates[0])
+	}
+	for i, g := range c.Graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("week %d: %v", i, err)
+		}
+		if len(g.Edges) == 0 {
+			t.Fatalf("week %d has no e-mail", i)
+		}
+	}
+}
+
+func TestNodeSetsVaryAcrossWeeks(t *testing.T) {
+	c := Generate(smallCfg(), randx.New(2))
+	sizes := map[int]bool{}
+	for _, g := range c.Graphs {
+		sizes[g.NumSrc] = true
+	}
+	if len(sizes) < 5 {
+		t.Errorf("sender counts take only %d distinct values — node sets should vary", len(sizes))
+	}
+}
+
+func TestVolumeShockRaisesTraffic(t *testing.T) {
+	c := Generate(smallCfg(), randx.New(3))
+	// The Nov 19 2001 restatement is a magnitude-1 volume shock.
+	var shockWeek int
+	for _, e := range c.Events {
+		if e.Kind == VolumeShock && e.Magnitude == 1.0 && e.Date.Month() == time.November {
+			shockWeek = e.Week()
+		}
+	}
+	if shockWeek == 0 {
+		t.Fatal("no November volume shock found")
+	}
+	// Compare traffic in the shock week to the two quiet weeks 6-7
+	// weeks earlier (after decay, before the October events).
+	shock := c.Graphs[shockWeek].TotalWeight()
+	quiet := (c.Graphs[20].TotalWeight() + c.Graphs[21].TotalWeight()) / 2
+	if shock < 1.8*quiet {
+		t.Errorf("shock traffic %g not elevated vs quiet %g", shock, quiet)
+	}
+}
+
+func TestParticipationShiftShrinksPopulation(t *testing.T) {
+	c := Generate(smallCfg(), randx.New(4))
+	// Bankruptcy (Dec 2 2001) is a participation shift: sender count in
+	// that week must drop versus the yearly average.
+	var week int
+	for _, e := range c.Events {
+		if e.Kind == ParticipationShift && e.Magnitude == 1.0 {
+			week = e.Week()
+		}
+	}
+	avg := 0.0
+	for w := 5; w < 20; w++ {
+		avg += float64(c.Graphs[w].NumSrc)
+	}
+	avg /= 15
+	if float64(c.Graphs[week].NumSrc) > 0.85*avg {
+		t.Errorf("bankruptcy week senders %d vs baseline %g — no shrink", c.Graphs[week].NumSrc, avg)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Generate(smallCfg(), randx.New(5))
+	b := Generate(smallCfg(), randx.New(5))
+	for i := range a.Graphs {
+		if len(a.Graphs[i].Edges) != len(b.Graphs[i].Edges) {
+			t.Fatal("same seed produced different corpora")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Employees != 150 || c.Departments != 4 || c.BaseRate != 0.8 || c.Participation != 0.6 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestEventWeeksHelper(t *testing.T) {
+	ws := EventWeeks()
+	if len(ws) != 17 {
+		t.Fatalf("%d event weeks", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] < ws[i-1] {
+			t.Error("event weeks out of order")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package eval scores change-point detections against ground truth: it
+// matches raised alarms to true change points within a tolerance window
+// and reports precision, recall, F1, mean detection delay, and false
+// alarm counts. It is used by the experiment drivers and EXPERIMENTS.md
+// to quantify the per-figure reproductions.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Metrics summarizes detection quality for one run.
+type Metrics struct {
+	// TruePositives counts true change points matched by >= 1 alarm.
+	TruePositives int
+	// FalseNegatives counts true change points with no matching alarm.
+	FalseNegatives int
+	// FalseAlarms counts alarms not matched to any true change point.
+	FalseAlarms int
+	// MatchedAlarms counts alarms that matched some change point
+	// (several alarms may match the same change).
+	MatchedAlarms int
+	// MeanDelay is the average (alarm time − change time) over the first
+	// matching alarm of each detected change; 0 if none detected.
+	MeanDelay float64
+}
+
+// Precision is MatchedAlarms / all alarms (1 if no alarms were raised).
+func (m Metrics) Precision() float64 {
+	total := m.MatchedAlarms + m.FalseAlarms
+	if total == 0 {
+		return 1
+	}
+	return float64(m.MatchedAlarms) / float64(total)
+}
+
+// Recall is TruePositives / all true changes (1 if there were none).
+func (m Metrics) Recall() float64 {
+	total := m.TruePositives + m.FalseNegatives
+	if total == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(total)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f (TP=%d FN=%d FA=%d, delay=%.1f)",
+		m.Precision(), m.Recall(), m.F1(), m.TruePositives, m.FalseNegatives, m.FalseAlarms, m.MeanDelay)
+}
+
+// Match scores alarms against true change points. An alarm at time a
+// matches a change at time c when c−before <= a <= c+after (detection is
+// allowed to lag: typical use is before=0, after=tolerance). Each alarm
+// matches at most one change (the nearest); each change may be matched by
+// several alarms but counts once.
+func Match(alarms, changes []int, before, after int) Metrics {
+	if before < 0 || after < 0 {
+		panic(fmt.Sprintf("eval: negative tolerance %d/%d", before, after))
+	}
+	sortedAlarms := append([]int(nil), alarms...)
+	sort.Ints(sortedAlarms)
+	sortedChanges := append([]int(nil), changes...)
+	sort.Ints(sortedChanges)
+
+	matchedChange := make([]bool, len(sortedChanges))
+	firstDelay := make(map[int]int) // change index → delay of first alarm
+	var m Metrics
+	for _, a := range sortedAlarms {
+		best, bestDist := -1, 1<<62
+		for ci, c := range sortedChanges {
+			if a < c-before || a > c+after {
+				continue
+			}
+			dist := a - c
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < bestDist {
+				best, bestDist = ci, dist
+			}
+		}
+		if best == -1 {
+			m.FalseAlarms++
+			continue
+		}
+		m.MatchedAlarms++
+		if !matchedChange[best] {
+			matchedChange[best] = true
+			firstDelay[best] = a - sortedChanges[best]
+		}
+	}
+	totalDelay := 0
+	for ci, matched := range matchedChange {
+		if matched {
+			m.TruePositives++
+			totalDelay += firstDelay[ci]
+		} else {
+			m.FalseNegatives++
+		}
+	}
+	if m.TruePositives > 0 {
+		m.MeanDelay = float64(totalDelay) / float64(m.TruePositives)
+	}
+	return m
+}
+
+// SweepThreshold evaluates a fixed-threshold detector over a score series
+// for every threshold in thresholds: an alarm fires at index i (mapped to
+// time times[i]) whenever scores[i] > threshold. It returns one Metrics
+// per threshold. This is the baseline against which the paper's adaptive
+// CI threshold is compared.
+func SweepThreshold(scores []float64, times []int, changes []int, before, after int, thresholds []float64) []Metrics {
+	if len(scores) != len(times) {
+		panic(fmt.Sprintf("eval: scores/times length mismatch %d != %d", len(scores), len(times)))
+	}
+	out := make([]Metrics, len(thresholds))
+	for ti, th := range thresholds {
+		var alarms []int
+		for i, s := range scores {
+			if s > th {
+				alarms = append(alarms, times[i])
+			}
+		}
+		out[ti] = Match(alarms, changes, before, after)
+	}
+	return out
+}
+
+// BestF1 returns the metrics and threshold index achieving the highest F1
+// in a SweepThreshold result (ties resolve to the first).
+func BestF1(sweep []Metrics) (Metrics, int) {
+	best, bi := Metrics{}, -1
+	bestF1 := -1.0
+	for i, m := range sweep {
+		if f := m.F1(); f > bestF1 {
+			best, bi, bestF1 = m, i, f
+		}
+	}
+	return best, bi
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMatchPerfectDetection(t *testing.T) {
+	m := Match([]int{50, 100}, []int{50, 100}, 0, 3)
+	if m.TruePositives != 2 || m.FalseNegatives != 0 || m.FalseAlarms != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Errorf("P/R/F1 = %g/%g/%g", m.Precision(), m.Recall(), m.F1())
+	}
+	if m.MeanDelay != 0 {
+		t.Errorf("delay = %g", m.MeanDelay)
+	}
+}
+
+func TestMatchWithDelay(t *testing.T) {
+	m := Match([]int{52, 103}, []int{50, 100}, 0, 5)
+	if m.TruePositives != 2 {
+		t.Fatalf("TP = %d", m.TruePositives)
+	}
+	if math.Abs(m.MeanDelay-2.5) > 1e-12 {
+		t.Errorf("MeanDelay = %g, want 2.5", m.MeanDelay)
+	}
+}
+
+func TestMatchFalseAlarm(t *testing.T) {
+	m := Match([]int{20, 50}, []int{50}, 0, 2)
+	if m.FalseAlarms != 1 || m.TruePositives != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Precision() != 0.5 {
+		t.Errorf("precision = %g", m.Precision())
+	}
+}
+
+func TestMatchMissedChange(t *testing.T) {
+	m := Match(nil, []int{50}, 0, 5)
+	if m.FalseNegatives != 1 || m.Recall() != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// No alarms raised: precision defined as 1.
+	if m.Precision() != 1 {
+		t.Errorf("precision = %g", m.Precision())
+	}
+	if m.F1() != 0 {
+		t.Errorf("F1 = %g", m.F1())
+	}
+}
+
+func TestMatchMultipleAlarmsOneChange(t *testing.T) {
+	m := Match([]int{50, 51, 52}, []int{50}, 0, 5)
+	if m.TruePositives != 1 {
+		t.Errorf("TP = %d, change should count once", m.TruePositives)
+	}
+	if m.MatchedAlarms != 3 {
+		t.Errorf("MatchedAlarms = %d", m.MatchedAlarms)
+	}
+	// Delay uses the FIRST matching alarm.
+	if m.MeanDelay != 0 {
+		t.Errorf("delay = %g, want 0", m.MeanDelay)
+	}
+}
+
+func TestMatchBeforeTolerance(t *testing.T) {
+	// An alarm slightly before the labelled change (common when the
+	// window straddles it) matches only when before > 0.
+	if m := Match([]int{49}, []int{50}, 0, 5); m.TruePositives != 0 {
+		t.Error("alarm before change matched with before=0")
+	}
+	if m := Match([]int{49}, []int{50}, 2, 5); m.TruePositives != 1 {
+		t.Error("alarm before change not matched with before=2")
+	}
+}
+
+func TestMatchNearestChangeWins(t *testing.T) {
+	// One alarm between two changes matches the nearer one.
+	m := Match([]int{58}, []int{50, 60}, 5, 5)
+	if m.TruePositives != 1 || m.FalseNegatives != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.MeanDelay != -2 {
+		t.Errorf("delay = %g, want -2 (matched the change at 60)", m.MeanDelay)
+	}
+}
+
+func TestMatchPanicsOnNegativeTolerance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Match(nil, nil, -1, 0)
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Match([]int{50}, []int{50}, 0, 1).String()
+	if !strings.Contains(s, "P=1.00") || !strings.Contains(s, "R=1.00") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEmptyEverything(t *testing.T) {
+	m := Match(nil, nil, 0, 5)
+	if m.Precision() != 1 || m.Recall() != 1 {
+		t.Errorf("vacuous metrics = %+v", m)
+	}
+}
+
+func TestSweepThreshold(t *testing.T) {
+	scores := []float64{0.1, 0.2, 5.0, 0.3, 6.0, 0.1}
+	times := []int{10, 11, 12, 13, 14, 15}
+	changes := []int{12, 14}
+	sweep := SweepThreshold(scores, times, changes, 0, 0, []float64{1.0, 10.0})
+	// Threshold 1.0: alarms at 12 and 14 → perfect.
+	if sweep[0].F1() != 1 {
+		t.Errorf("threshold 1.0 F1 = %g", sweep[0].F1())
+	}
+	// Threshold 10: no alarms → recall 0.
+	if sweep[1].Recall() != 0 {
+		t.Errorf("threshold 10 recall = %g", sweep[1].Recall())
+	}
+	best, idx := BestF1(sweep)
+	if idx != 0 || best.F1() != 1 {
+		t.Errorf("BestF1 = %+v at %d", best, idx)
+	}
+}
+
+func TestSweepThresholdValidatesLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SweepThreshold([]float64{1}, []int{1, 2}, nil, 0, 0, []float64{0})
+}
+
+func TestBestF1Empty(t *testing.T) {
+	_, idx := BestF1(nil)
+	if idx != -1 {
+		t.Errorf("BestF1(nil) index = %d", idx)
+	}
+}

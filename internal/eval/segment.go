@@ -1,0 +1,55 @@
+package eval
+
+import "sort"
+
+// Segment is a half-open interval [Start, End) of time steps governed by
+// one regime.
+type Segment struct {
+	Start, End int
+}
+
+// Segments converts a set of alarm times into a segmentation of the
+// horizon [0, n): consecutive alarms within minGap steps of each other
+// are merged into a single boundary (an alarm burst marks one change),
+// and each surviving boundary starts a new segment. This is the
+// time-series segmentation use of change-point detection described in
+// the paper's introduction.
+func Segments(alarms []int, n, minGap int) []Segment {
+	if n <= 0 {
+		return nil
+	}
+	if minGap < 1 {
+		minGap = 1
+	}
+	sorted := append([]int(nil), alarms...)
+	sort.Ints(sorted)
+	var boundaries []int
+	for _, a := range sorted {
+		if a <= 0 || a >= n {
+			continue
+		}
+		if len(boundaries) > 0 && a-boundaries[len(boundaries)-1] < minGap {
+			continue // same burst
+		}
+		boundaries = append(boundaries, a)
+	}
+	segments := make([]Segment, 0, len(boundaries)+1)
+	start := 0
+	for _, b := range boundaries {
+		segments = append(segments, Segment{Start: start, End: b})
+		start = b
+	}
+	segments = append(segments, Segment{Start: start, End: n})
+	return segments
+}
+
+// CoveringSegment returns the segment containing time t, or a zero
+// Segment and false when t is outside every segment.
+func CoveringSegment(segments []Segment, t int) (Segment, bool) {
+	for _, s := range segments {
+		if t >= s.Start && t < s.End {
+			return s, true
+		}
+	}
+	return Segment{}, false
+}

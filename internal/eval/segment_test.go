@@ -1,0 +1,96 @@
+package eval
+
+import "testing"
+
+func TestSegmentsBasic(t *testing.T) {
+	segs := Segments([]int{50, 100}, 150, 1)
+	want := []Segment{{0, 50}, {50, 100}, {100, 150}}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments = %v, want %v", segs, want)
+		}
+	}
+}
+
+func TestSegmentsNoAlarms(t *testing.T) {
+	segs := Segments(nil, 30, 1)
+	if len(segs) != 1 || segs[0] != (Segment{0, 30}) {
+		t.Fatalf("Segments = %v", segs)
+	}
+}
+
+func TestSegmentsMergesBursts(t *testing.T) {
+	// Alarm burst 50,51,52 is one change; 70 is another.
+	segs := Segments([]int{50, 51, 52, 70}, 100, 5)
+	want := []Segment{{0, 50}, {50, 70}, {70, 100}}
+	if len(segs) != 3 {
+		t.Fatalf("Segments = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments = %v, want %v", segs, want)
+		}
+	}
+}
+
+func TestSegmentsIgnoresOutOfRange(t *testing.T) {
+	segs := Segments([]int{-5, 0, 200}, 100, 1)
+	if len(segs) != 1 {
+		t.Fatalf("out-of-range alarms created segments: %v", segs)
+	}
+}
+
+func TestSegmentsUnsortedInput(t *testing.T) {
+	a := Segments([]int{70, 30}, 100, 1)
+	b := Segments([]int{30, 70}, 100, 1)
+	if len(a) != len(b) {
+		t.Fatal("order sensitivity")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("order sensitivity")
+		}
+	}
+}
+
+func TestSegmentsEmptyHorizon(t *testing.T) {
+	if segs := Segments([]int{1}, 0, 1); segs != nil {
+		t.Fatalf("Segments on empty horizon = %v", segs)
+	}
+}
+
+func TestCoveringSegment(t *testing.T) {
+	segs := Segments([]int{50}, 100, 1)
+	s, ok := CoveringSegment(segs, 75)
+	if !ok || s.Start != 50 || s.End != 100 {
+		t.Fatalf("CoveringSegment = %v %v", s, ok)
+	}
+	if _, ok := CoveringSegment(segs, 100); ok {
+		t.Fatal("t=n should not be covered (half-open)")
+	}
+	if _, ok := CoveringSegment(segs, -1); ok {
+		t.Fatal("negative t covered")
+	}
+}
+
+func TestSegmentsPartitionProperty(t *testing.T) {
+	// Segments must partition [0, n): contiguous, non-overlapping, and
+	// covering.
+	for _, alarms := range [][]int{{}, {1}, {1, 2, 3}, {10, 20, 30}, {99}, {5, 5, 5}} {
+		segs := Segments(alarms, 100, 3)
+		if segs[0].Start != 0 || segs[len(segs)-1].End != 100 {
+			t.Fatalf("%v: not covering: %v", alarms, segs)
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				t.Fatalf("%v: gap/overlap: %v", alarms, segs)
+			}
+			if segs[i].Start >= segs[i].End {
+				t.Fatalf("%v: empty segment: %v", alarms, segs)
+			}
+		}
+	}
+}

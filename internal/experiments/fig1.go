@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/plot"
+	"repro/internal/randx"
+	"repro/internal/synth"
+)
+
+// Fig1Result reproduces the paper's motivating Fig. 1: the proposed
+// method applied to the raw bag stream versus ChangeFinder [8] and
+// KCD [9] applied to the per-bag sample-mean sequence.
+type Fig1Result struct {
+	// Points is the proposed detector's output on the bag stream.
+	Points []core.Point
+	// CFScores are ChangeFinder change scores on the mean sequence.
+	CFScores []float64
+	// KCDScores are kernel-change-detection scores on the mean sequence.
+	KCDScores []float64
+	// Changes are the true change indices (50 and 100).
+	Changes []int
+	// Proposed, CF, KCD are detection metrics with a ±5-step tolerance.
+	Proposed, CF, KCD eval.Metrics
+	// Report is the rendered text artifact.
+	Report string
+}
+
+// Fig1 runs the experiment. tolerance is the alarm-to-change matching
+// window in steps (the paper eyeballs the plots; we quantify with ±5).
+func Fig1(seed int64) (*Fig1Result, error) {
+	rng := randx.New(seed)
+	seq := synth.Fig1Sequence(rng.Split(1))
+	changes := synth.Fig1Changes
+
+	// Proposed method on the raw bags.
+	builder, err := histogramBuilderFor(seq, 40)
+	if err != nil {
+		return nil, err
+	}
+	cfg := detectorConfig(5, 5, builder, 500, seed)
+	points, err := core.Run(cfg, seq)
+	if err != nil {
+		return nil, fmt.Errorf("fig1 proposed: %w", err)
+	}
+
+	// Baselines on the sample-mean sequence (this is the information
+	// bottleneck Fig. 1(b) illustrates).
+	means := seq.MeanSequence()
+	cfScores, err := baseline.RunVectorChangeFinder(means, 2, 0.03, 5, 5)
+	if err != nil {
+		return nil, fmt.Errorf("fig1 ChangeFinder: %w", err)
+	}
+	sigma := baseline.MedianHeuristicSigma(means)
+	kcdScores, err := baseline.RunKCD(means, baseline.KCDConfig{Window: 20, Nu: 0.2, Sigma: sigma})
+	if err != nil {
+		return nil, fmt.Errorf("fig1 KCD: %w", err)
+	}
+
+	res := &Fig1Result{
+		Points:    points,
+		CFScores:  cfScores,
+		KCDScores: kcdScores,
+		Changes:   changes,
+	}
+
+	const tol = 5
+	res.Proposed = eval.Match(core.Alarms(points), changes, 1, tol)
+	// Baselines have no adaptive threshold; grade them at their single
+	// best fixed threshold (maximally charitable).
+	allTimes := make([]int, len(means))
+	for i := range allTimes {
+		allTimes[i] = i
+	}
+	cfSweep := eval.SweepThreshold(cfScores, allTimes, changes, 1, tol, thresholdGrid(cfScores))
+	res.CF, _ = eval.BestF1(cfSweep)
+	kcdSweep := eval.SweepThreshold(kcdScores, allTimes, changes, 1, tol, thresholdGrid(kcdScores))
+	res.KCD, _ = eval.BestF1(kcdSweep)
+
+	res.Report = res.render()
+	return res, nil
+}
+
+// thresholdGrid spans candidate thresholds between the score extremes.
+func thresholdGrid(scores []float64) []float64 {
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([]float64, 30)
+	for i := range grid {
+		grid[i] = lo + (hi-lo)*float64(i+1)/31
+	}
+	return grid
+}
+
+func (r *Fig1Result) render() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 1 — bags vs sample-mean baselines (changes at t=50, 100)"))
+	times, scores, lo, hi := seriesOf(r.Points)
+	b.WriteString(plot.Series("proposed (scoreKL on bags)", scores, lo, hi,
+		offsetsToIndex(times, core.Alarms(r.Points)), offsetsToIndex(times, r.Changes), 10))
+	b.WriteString(plot.Series("ChangeFinder on sample means", r.CFScores, nil, nil, nil, r.Changes, 8))
+	b.WriteString(plot.Series("KCD on sample means", r.KCDScores, nil, nil, nil, r.Changes, 8))
+	fmt.Fprintf(&b, "\nproposed (adaptive threshold):    %v\n", r.Proposed)
+	fmt.Fprintf(&b, "ChangeFinder (best fixed thresh): %v\n", r.CF)
+	fmt.Fprintf(&b, "KCD (best fixed threshold):       %v\n", r.KCD)
+	b.WriteString("\npaper's claim: the mean sequence loses the mixture structure, so the\n")
+	b.WriteString("baselines' scores are unrelated to the changes while the proposed\n")
+	b.WriteString("method detects both.\n")
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/plot"
+	"repro/internal/randx"
+)
+
+// Fig10FeatureResult is one feature row of one Fig. 10 panel.
+type Fig10FeatureResult struct {
+	Feature bipartite.Feature
+	Points  []core.Point
+	Alarms  []int
+	Metrics eval.Metrics
+}
+
+// Fig10DatasetResult is one panel (dataset) of Fig. 10: the detector run
+// on each of the seven graph features.
+type Fig10DatasetResult struct {
+	Dataset  bipartite.Section53Dataset
+	Changes  []int
+	Features []Fig10FeatureResult
+	// CombinedMetrics treats a change as detected if ANY feature raised
+	// an alarm near it (the paper's reading of the panels).
+	CombinedMetrics eval.Metrics
+}
+
+// Fig10Result aggregates the four synthetic bipartite-graph datasets.
+type Fig10Result struct {
+	Datasets []Fig10DatasetResult
+	Report   string
+}
+
+// Fig10Options scales the workload; the zero value reproduces the paper
+// (node λ=200, 200/240 steps).
+type Fig10Options struct {
+	Graph      bipartite.Section53Options
+	Replicates int
+}
+
+func (o Fig10Options) withDefaults() Fig10Options {
+	if o.Replicates <= 0 {
+		o.Replicates = 500
+	}
+	return o
+}
+
+// Fig10 runs the §5.3 synthetic bipartite-graph experiments: for each
+// dataset, each of the 7 features becomes a 1-D bag sequence scored with
+// scoreKL (the paper's Eq. 17 choice for this section), τ = τ′ = 5.
+func Fig10(seed int64, opts Fig10Options) (*Fig10Result, error) {
+	opts = opts.withDefaults()
+	rng := randx.New(seed)
+	res := &Fig10Result{}
+	for _, ds := range bipartite.AllSection53() {
+		graphs, err := ds.Generate(rng.Split(int64(ds)), opts.Graph)
+		if err != nil {
+			return nil, err
+		}
+		steps := len(graphs)
+		dr := Fig10DatasetResult{Dataset: ds, Changes: ds.Changes(steps)}
+		var allAlarms []int
+		for _, f := range bipartite.AllFeatures() {
+			seq, err := bipartite.FeatureSequence(graphs, f)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %v %v: %w", ds, f, err)
+			}
+			builder, err := histogramBuilderFor(seq, 30)
+			if err != nil {
+				return nil, err
+			}
+			cfg := detectorConfig(5, 5, builder, opts.Replicates, seed+int64(ds)*10+int64(f))
+			points, err := core.Run(cfg, seq)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %v %v detector: %w", ds, f, err)
+			}
+			fr := Fig10FeatureResult{
+				Feature: f,
+				Points:  points,
+				Alarms:  core.Alarms(points),
+			}
+			fr.Metrics = eval.Match(fr.Alarms, dr.Changes, 2, 6)
+			allAlarms = append(allAlarms, fr.Alarms...)
+			dr.Features = append(dr.Features, fr)
+		}
+		dr.CombinedMetrics = eval.Match(allAlarms, dr.Changes, 2, 6)
+		res.Datasets = append(res.Datasets, dr)
+	}
+	res.Report = res.render()
+	return res, nil
+}
+
+func (r *Fig10Result) render() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 10 — synthetic bipartite graphs, 7 features × 4 datasets"))
+	for _, dr := range r.Datasets {
+		fmt.Fprintf(&b, "\n--- %v (changes at %v) ---\n", dr.Dataset, dr.Changes)
+		for _, fr := range dr.Features {
+			times, scores, lo, hi := seriesOf(fr.Points)
+			b.WriteString(plot.Series(fmt.Sprintf("feature %v", fr.Feature),
+				scores, lo, hi,
+				offsetsToIndex(times, fr.Alarms), offsetsToIndex(times, dr.Changes), 6))
+			fmt.Fprintf(&b, "  %v\n", fr.Metrics)
+		}
+		fmt.Fprintf(&b, "any-feature combination: %v\n", dr.CombinedMetrics)
+	}
+	b.WriteString("\npaper's claims: every change is caught by at least one feature; the\n")
+	b.WriteString("node-strength features 5 and 6 detect accurately in all situations\n")
+	b.WriteString("(even the small early changes); the second-degree features 3 and 4\n")
+	b.WriteString("carry no signal because the synthetic data has no source-destination\n")
+	b.WriteString("correspondence structure; occasional high scores without changes are\n")
+	b.WriteString("suppressed by the confidence intervals.\n")
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/enron"
+	"repro/internal/eval"
+	"repro/internal/plot"
+	"repro/internal/randx"
+)
+
+// Fig11EventOutcome records, for one Fig. 11 event, whether our run
+// flagged it alongside the paper's two ground-truth columns.
+type Fig11EventOutcome struct {
+	Event      enron.Event
+	DetectedBy []bipartite.Feature // features with an alarm within the window
+	Detected   bool
+}
+
+// Fig11Result is the Enron case study: per-feature alarm series over the
+// ~100 weekly graphs and the event alignment table.
+type Fig11Result struct {
+	Weeks     int
+	PerFeat   map[bipartite.Feature][]core.Point
+	Outcomes  []Fig11EventOutcome
+	AnyAlarms []int
+	Metrics   eval.Metrics
+	Report    string
+}
+
+// Fig11Options scales the simulation (employee count, bootstrap size).
+type Fig11Options struct {
+	Corpus     enron.Config
+	Replicates int
+	// ToleranceWeeks is the alarm↔event matching window (default 2,
+	// i.e. an alarm within two weeks after the event counts — weekly
+	// aggregation plus τ′=3 lag makes exact-week alignment unrealistic,
+	// mirroring how the paper reads the figure).
+	ToleranceWeeks int
+}
+
+func (o Fig11Options) withDefaults() Fig11Options {
+	if o.Replicates <= 0 {
+		o.Replicates = 500
+	}
+	if o.ToleranceWeeks <= 0 {
+		o.ToleranceWeeks = 2
+	}
+	return o
+}
+
+// Fig11 runs the ENRON case study of §5.4: weekly sender→recipient
+// graphs, the seven §5.3 features, reference window of five weeks and
+// test window of three (τ=5, τ′=3 per the paper).
+func Fig11(seed int64, opts Fig11Options) (*Fig11Result, error) {
+	opts = opts.withDefaults()
+	rng := randx.New(seed)
+	corpus := enron.Generate(opts.Corpus, rng.Split(1))
+
+	res := &Fig11Result{
+		Weeks:   len(corpus.Graphs),
+		PerFeat: map[bipartite.Feature][]core.Point{},
+	}
+	alarmWeeks := map[bipartite.Feature][]int{}
+	for _, f := range bipartite.AllFeatures() {
+		seq, err := bipartite.FeatureSequence(corpus.Graphs, f)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %v: %w", f, err)
+		}
+		builder, err := histogramBuilderFor(seq, 30)
+		if err != nil {
+			return nil, err
+		}
+		cfg := detectorConfig(5, 3, builder, opts.Replicates, seed+int64(f))
+		points, err := core.Run(cfg, seq)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %v detector: %w", f, err)
+		}
+		res.PerFeat[f] = points
+		alarmWeeks[f] = core.Alarms(points)
+		res.AnyAlarms = append(res.AnyAlarms, alarmWeeks[f]...)
+	}
+
+	// Event alignment: an event counts as detected when any feature has
+	// an alarm within [week−1, week+tolerance].
+	for _, e := range corpus.Events {
+		out := Fig11EventOutcome{Event: e}
+		for _, f := range bipartite.AllFeatures() {
+			for _, a := range alarmWeeks[f] {
+				if a >= e.Week()-1 && a <= e.Week()+opts.ToleranceWeeks {
+					out.DetectedBy = append(out.DetectedBy, f)
+					break
+				}
+			}
+		}
+		out.Detected = len(out.DetectedBy) > 0
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	res.Metrics = eval.Match(dedupInts(res.AnyAlarms), enron.EventWeeks(), 1, opts.ToleranceWeeks)
+	res.Report = res.render(corpus)
+	return res, nil
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (r *Fig11Result) render(corpus *enron.Corpus) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 11 — ENRON corpus (simulated), weekly bipartite graphs"))
+	for _, f := range bipartite.AllFeatures() {
+		points := r.PerFeat[f]
+		times, scores, lo, hi := seriesOf(points)
+		b.WriteString(plot.Series(fmt.Sprintf("feature %v", f), scores, lo, hi,
+			offsetsToIndex(times, core.Alarms(points)),
+			offsetsToIndex(times, enron.EventWeeks()), 6))
+	}
+	b.WriteString(plot.EventRaster("alarm/event alignment (any feature)", r.Weeks,
+		dedupInts(r.AnyAlarms), enron.EventWeeks()))
+
+	b.WriteString("\nEvent table (ours = this run; paper/GS = Fig. 11 ground-truth columns):\n")
+	fmt.Fprintf(&b, "%-12s %-5s %-6s %-3s  %s\n", "date", "ours", "paper", "GS", "event")
+	for _, o := range r.Outcomes {
+		mark := func(v bool) string {
+			if v {
+				return "X"
+			}
+			return "-"
+		}
+		desc := o.Event.Description
+		if len(desc) > 58 {
+			desc = desc[:55] + "..."
+		}
+		fmt.Fprintf(&b, "%-12s %-5s %-6s %-3s  %s\n",
+			o.Event.Date.Format("2006-01-02"), mark(o.Detected),
+			mark(o.Event.DetectedByPaper), mark(o.Event.DetectedByGraphScope), desc)
+	}
+	fmt.Fprintf(&b, "\nany-feature alarm metrics vs the 17 events: %v\n", r.Metrics)
+	b.WriteString("\npaper's claims: the change-point scores coincide with many of the\n")
+	b.WriteString("events; all events detected by GraphScope [22] are detected, plus\n")
+	b.WriteString("extras GraphScope missed.\n")
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/pamap"
+	"repro/internal/plot"
+	"repro/internal/randx"
+)
+
+// Table1Report renders the paper's Table 1 (activities and their IDs).
+func Table1Report() string {
+	var b strings.Builder
+	b.WriteString(header("Table 1 — Activities and their IDs (PAMAP protocol)"))
+	acts := pamap.Table1()
+	half := (len(acts) + 1) / 2
+	fmt.Fprintf(&b, "%-22s %-4s   %-22s %-4s\n", "Activity", "ID", "Activity", "ID")
+	for i := 0; i < half; i++ {
+		left := acts[i]
+		right := ""
+		rightID := ""
+		if i+half < len(acts) {
+			right = acts[i+half].Name()
+			rightID = fmt.Sprintf("%d", int(acts[i+half]))
+		}
+		fmt.Fprintf(&b, "%-22s %-4d   %-22s %-4s\n", left.Name(), int(left), right, rightID)
+	}
+	return b.String()
+}
+
+// Fig7SubjectResult is one panel of Fig. 7.
+type Fig7SubjectResult struct {
+	Subject int
+	Points  []core.Point
+	Alarms  []int
+	Changes []int
+	Metrics eval.Metrics
+}
+
+// Fig7Result aggregates the three subjects shown in the paper.
+type Fig7Result struct {
+	Subjects []Fig7SubjectResult
+	Report   string
+}
+
+// Fig7Options scales the experiment for benchmarking; the zero value
+// reproduces the paper setting (3 subjects, full protocol, T=500).
+type Fig7Options struct {
+	Subjects   int
+	Replicates int
+	// MeanRecordsPerBag overrides the ≈948 records per bag.
+	MeanRecordsPerBag int
+	// MeanBagsPerActivity overrides the ≈18 bags per activity segment.
+	MeanBagsPerActivity int
+}
+
+func (o Fig7Options) withDefaults() Fig7Options {
+	if o.Subjects <= 0 {
+		o.Subjects = 3
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 500
+	}
+	return o
+}
+
+// Fig7 runs the PAMAP activity-transition experiment (§5.2): 10-second
+// bags of 4-channel sensor records, τ = τ′ = 5, k-means signatures.
+func Fig7(seed int64, opts Fig7Options) (*Fig7Result, error) {
+	opts = opts.withDefaults()
+	rng := randx.New(seed)
+	res := &Fig7Result{}
+	for subj := 0; subj < opts.Subjects; subj++ {
+		rec := pamap.Generate(pamap.Config{
+			Subject:             subj,
+			MeanRecordsPerBag:   opts.MeanRecordsPerBag,
+			MeanBagsPerActivity: opts.MeanBagsPerActivity,
+		}, rng.Split(int64(subj)))
+
+		builder := kmeansBuilder(8, rng.Split(1000+int64(subj)))
+		cfg := detectorConfig(5, 5, builder, opts.Replicates, seed+int64(subj))
+		points, err := core.Run(cfg, rec.Bags)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 subject %d: %w", subj, err)
+		}
+		sr := Fig7SubjectResult{
+			Subject: subj,
+			Points:  points,
+			Alarms:  core.Alarms(points),
+			Changes: rec.Changes,
+		}
+		// The paper reports "plausible accuracy": alarms within a few
+		// bags of a transition count as hits (±5 bags ≈ ±50 s).
+		sr.Metrics = eval.Match(sr.Alarms, sr.Changes, 2, 5)
+		res.Subjects = append(res.Subjects, sr)
+	}
+	res.Report = res.render()
+	return res, nil
+}
+
+func (r *Fig7Result) render() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 7 — PAMAP activity transitions (simulated subjects)"))
+	for _, sr := range r.Subjects {
+		fmt.Fprintf(&b, "\n--- Subject %d ---\n", sr.Subject+1)
+		times, scores, lo, hi := seriesOf(sr.Points)
+		b.WriteString(plot.Series("scoreKL with 95% CI (':' = activity change, 'X' = alarm)",
+			scores, lo, hi,
+			offsetsToIndex(times, sr.Alarms), offsetsToIndex(times, sr.Changes), 10))
+		fmt.Fprintf(&b, "activity changes: %v\n", sr.Changes)
+		fmt.Fprintf(&b, "alarms:           %v\n", sr.Alarms)
+		fmt.Fprintf(&b, "metrics: %v\n", sr.Metrics)
+	}
+	b.WriteString("\npaper's claims: transitions are detected with plausible accuracy;\n")
+	b.WriteString("not every transition raises an alarm, but scores rise at changes and\n")
+	b.WriteString("rapid score oscillation does not trigger false alarms.\n")
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package featsel implements the paper's first "future challenge" (§6):
+// online feature selection for bag-of-data change detection. When only a
+// few of the d dimensions of x carry change signal and the rest are
+// noise, EMD in the full space dilutes the signal; given per-time-step
+// labels ("change" / "no change"), which §6 notes can be collected
+// online, the selector learns per-dimension relevance weights and scales
+// bags so the metric concentrates on the informative dimensions.
+//
+// The relevance score of dimension j contrasts the per-dimension
+// marginal shift (the 1-D Wasserstein distance between the pooled
+// reference points and the pooled test points around an inspection time)
+// at labeled change times against the same quantity at no-change times.
+// Dimensions whose shift does not separate the two label classes get a
+// small floor weight rather than zero, so a change in a previously quiet
+// dimension can still be noticed.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bag"
+	"repro/internal/signature"
+	"repro/internal/vec"
+)
+
+// Selector holds learned per-dimension relevance weights (max-normalized
+// so the most relevant dimension has weight 1).
+type Selector struct {
+	Weights []float64
+}
+
+// Config controls learning.
+type Config struct {
+	// Tau and TauPrime define the windows around each labeled time
+	// (matching the detector configuration the labels came from).
+	Tau, TauPrime int
+	// Floor is the minimum relative weight of an irrelevant dimension
+	// (default 0.05).
+	Floor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Floor <= 0 {
+		c.Floor = 0.05
+	}
+	return c
+}
+
+// Learn estimates dimension weights from a labeled history. changeTimes
+// are the indices t where a change was labeled (the first bag of the new
+// regime); every other valid inspection time counts as "no change".
+func Learn(seq bag.Sequence, changeTimes []int, cfg Config) (*Selector, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Tau < 1 || cfg.TauPrime < 1 {
+		return nil, fmt.Errorf("featsel: Tau and TauPrime must be >= 1, got %d/%d", cfg.Tau, cfg.TauPrime)
+	}
+	if len(seq) < cfg.Tau+cfg.TauPrime {
+		return nil, fmt.Errorf("featsel: need at least %d bags, got %d", cfg.Tau+cfg.TauPrime, len(seq))
+	}
+	d := 0
+	for _, b := range seq {
+		if b.Len() > 0 {
+			d = b.Dim()
+			break
+		}
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("featsel: sequence has no points")
+	}
+
+	isChange := map[int]bool{}
+	for _, c := range changeTimes {
+		isChange[c] = true
+	}
+
+	changeShift := make([]float64, d)
+	quietShift := make([]float64, d)
+	nChange, nQuiet := 0, 0
+	for t := cfg.Tau; t+cfg.TauPrime <= len(seq); t++ {
+		shifts, err := windowShifts(seq, t, cfg.Tau, cfg.TauPrime, d)
+		if err != nil {
+			return nil, err
+		}
+		if isChange[t] {
+			vec.AddScaled(changeShift, 1, shifts)
+			nChange++
+		} else if !nearChange(t, changeTimes, cfg.TauPrime) {
+			vec.AddScaled(quietShift, 1, shifts)
+			nQuiet++
+		}
+	}
+	if nChange == 0 {
+		return nil, fmt.Errorf("featsel: no labeled change time falls inside the valid inspection range")
+	}
+	if nQuiet == 0 {
+		return nil, fmt.Errorf("featsel: no quiet inspection times to contrast against")
+	}
+	vec.Scale(changeShift, 1/float64(nChange))
+	vec.Scale(quietShift, 1/float64(nQuiet))
+
+	w := make([]float64, d)
+	maxW := 0.0
+	for j := 0; j < d; j++ {
+		// Relevance: shift excess at changes, relative to the quiet
+		// baseline scale (adding a tiny eps keeps 0/0 defined).
+		w[j] = (changeShift[j] - quietShift[j]) / (quietShift[j] + 1e-12)
+		if w[j] < 0 {
+			w[j] = 0
+		}
+		if w[j] > maxW {
+			maxW = w[j]
+		}
+	}
+	if maxW == 0 {
+		return nil, fmt.Errorf("featsel: no dimension separates change from no-change labels")
+	}
+	for j := range w {
+		w[j] /= maxW
+		if w[j] < cfg.Floor {
+			w[j] = cfg.Floor
+		}
+	}
+	return &Selector{Weights: w}, nil
+}
+
+// nearChange reports whether t sits within tol of any change time
+// (such borderline windows are excluded from the quiet statistics).
+func nearChange(t int, changes []int, tol int) bool {
+	for _, c := range changes {
+		if t >= c-tol && t <= c+tol {
+			return true
+		}
+	}
+	return false
+}
+
+// windowShifts computes, per dimension, the 1-D Wasserstein distance
+// between the pooled reference points (bags t−τ…t−1) and the pooled test
+// points (bags t…t+τ′−1).
+func windowShifts(seq bag.Sequence, t, tau, tauPrime, d int) ([]float64, error) {
+	out := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var ref, test []float64
+		for i := t - tau; i < t; i++ {
+			for _, p := range seq[i].Points {
+				ref = append(ref, p[j])
+			}
+		}
+		for i := t; i < t+tauPrime; i++ {
+			for _, p := range seq[i].Points {
+				test = append(test, p[j])
+			}
+		}
+		if len(ref) == 0 || len(test) == 0 {
+			return nil, fmt.Errorf("featsel: empty window at t=%d", t)
+		}
+		out[j] = wasserstein1(ref, test)
+	}
+	return out, nil
+}
+
+// wasserstein1 computes the exact 1-D Wasserstein-1 distance between two
+// empirical distributions (sorted-CDF form).
+func wasserstein1(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	// Merge the two CDFs over all breakpoints.
+	na, nb := float64(len(as)), float64(len(bs))
+	i, j := 0, 0
+	dist := 0.0
+	prev := math.Min(as[0], bs[0])
+	for i < len(as) || j < len(bs) {
+		var x float64
+		switch {
+		case i >= len(as):
+			x = bs[j]
+		case j >= len(bs):
+			x = as[i]
+		default:
+			x = math.Min(as[i], bs[j])
+		}
+		fa := float64(i) / na
+		fb := float64(j) / nb
+		dist += math.Abs(fa-fb) * (x - prev)
+		prev = x
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+	}
+	return dist
+}
+
+// Transform scales every point of b by the learned weights, returning a
+// new bag (the input is not modified).
+func (s *Selector) Transform(b bag.Bag) bag.Bag {
+	out := bag.Bag{T: b.T, Points: make([][]float64, len(b.Points))}
+	for i, p := range b.Points {
+		q := make([]float64, len(p))
+		for j, v := range p {
+			if j < len(s.Weights) {
+				q[j] = v * s.Weights[j]
+			} else {
+				q[j] = v
+			}
+		}
+		out.Points[i] = q
+	}
+	return out
+}
+
+// TransformSequence applies Transform to every bag.
+func (s *Selector) TransformSequence(seq bag.Sequence) bag.Sequence {
+	out := make(bag.Sequence, len(seq))
+	for i, b := range seq {
+		out[i] = s.Transform(b)
+	}
+	return out
+}
+
+// Builder wraps an inner signature builder so the weighting is applied
+// transparently inside a detector Config.
+func (s *Selector) Builder(inner signature.Builder) signature.Builder {
+	return &weightedBuilder{sel: s, inner: inner}
+}
+
+type weightedBuilder struct {
+	sel   *Selector
+	inner signature.Builder
+}
+
+// Build implements signature.Builder.
+func (wb *weightedBuilder) Build(b bag.Bag) (signature.Signature, error) {
+	return wb.inner.Build(wb.sel.Transform(b))
+}

@@ -1,0 +1,187 @@
+package featsel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/bootstrap"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// noisySeq builds d-dimensional bags where ONLY dimension 0 shifts at the
+// change times; the other dimensions are heavier-variance pure noise.
+func noisySeq(rng *randx.RNG, n, d, size int, changes []int) bag.Sequence {
+	isAfter := func(t int) float64 {
+		shift := 0.0
+		for _, c := range changes {
+			if t >= c {
+				shift += 2.5
+			}
+		}
+		return shift
+	}
+	seq := make(bag.Sequence, n)
+	for t := 0; t < n; t++ {
+		pts := make([][]float64, size)
+		for i := range pts {
+			p := make([]float64, d)
+			p[0] = rng.Normal(isAfter(t), 1)
+			for j := 1; j < d; j++ {
+				p[j] = rng.Normal(0, 4) // loud irrelevant noise
+			}
+			pts[i] = p
+		}
+		seq[t] = bag.New(t, pts)
+	}
+	return seq
+}
+
+func TestLearnRecoversInformativeDimension(t *testing.T) {
+	rng := randx.New(1)
+	changes := []int{15, 30}
+	seq := noisySeq(rng, 45, 5, 60, changes)
+	sel, err := Learn(seq, changes, Config{Tau: 5, TauPrime: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Weights) != 5 {
+		t.Fatalf("got %d weights", len(sel.Weights))
+	}
+	if sel.Weights[0] != 1 {
+		t.Errorf("informative dimension weight = %g, want 1 (max-normalized)", sel.Weights[0])
+	}
+	for j := 1; j < 5; j++ {
+		if sel.Weights[j] > 0.5 {
+			t.Errorf("noise dimension %d weight = %g, want small", j, sel.Weights[j])
+		}
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	rng := randx.New(2)
+	seq := noisySeq(rng, 20, 2, 20, []int{10})
+	if _, err := Learn(seq, []int{10}, Config{Tau: 0, TauPrime: 5}); err == nil {
+		t.Error("Tau=0 accepted")
+	}
+	if _, err := Learn(seq[:4], []int{2}, Config{Tau: 5, TauPrime: 5}); err == nil {
+		t.Error("short sequence accepted")
+	}
+	if _, err := Learn(seq, []int{500}, Config{Tau: 5, TauPrime: 5}); err == nil {
+		t.Error("out-of-range change time accepted")
+	}
+	var empty bag.Sequence
+	for i := 0; i < 20; i++ {
+		empty = append(empty, bag.Bag{T: i})
+	}
+	if _, err := Learn(empty, []int{10}, Config{Tau: 5, TauPrime: 5}); err == nil {
+		t.Error("pointless sequence accepted")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	sel := &Selector{Weights: []float64{1, 0.1}}
+	b := bag.New(0, [][]float64{{2, 10}})
+	out := sel.Transform(b)
+	if out.Points[0][0] != 2 || out.Points[0][1] != 1 {
+		t.Errorf("Transform = %v", out.Points[0])
+	}
+	// Original untouched.
+	if b.Points[0][1] != 10 {
+		t.Error("Transform modified input")
+	}
+}
+
+func TestWasserstein1(t *testing.T) {
+	// Point masses at 0 vs 1: distance 1.
+	if got := wasserstein1([]float64{0, 0}, []float64{1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("wasserstein1 = %g, want 1", got)
+	}
+	// Identical samples: 0.
+	if got := wasserstein1([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("identical samples give %g", got)
+	}
+	// Shift by c: distance c.
+	if got := wasserstein1([]float64{0, 1, 2}, []float64{5, 6, 7}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("shifted samples give %g, want 5", got)
+	}
+}
+
+// TestSelectionImprovesDetection is the headline test of the §6
+// extension: with 1 informative + 7 loud noise dimensions, learned
+// weighting must sharpen the detector's score contrast at a held-out
+// change compared to the unweighted pipeline.
+func TestSelectionImprovesDetection(t *testing.T) {
+	rng := randx.New(3)
+	// Training history with labels.
+	trainChanges := []int{15, 30}
+	train := noisySeq(rng.Split(1), 45, 8, 60, trainChanges)
+	sel, err := Learn(train, trainChanges, Config{Tau: 5, TauPrime: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Held-out sequence with a change at 12.
+	test := noisySeq(rng.Split(2), 24, 8, 60, []int{12})
+
+	contrast := func(builder signature.Builder, seed int64) float64 {
+		cfg := core.Config{
+			Tau: 5, TauPrime: 5,
+			Builder:   builder,
+			Bootstrap: bootstrap.Config{Replicates: 100},
+			Seed:      seed,
+		}
+		points, err := core.Run(cfg, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var atChange float64
+		var bg []float64
+		for _, p := range points {
+			if p.T == 12 {
+				atChange = p.Score
+			} else if p.T < 9 || p.T > 15 {
+				bg = append(bg, p.Score)
+			}
+		}
+		mean, sd := 0.0, 0.0
+		for _, v := range bg {
+			mean += v
+		}
+		mean /= float64(len(bg))
+		for _, v := range bg {
+			sd += (v - mean) * (v - mean)
+		}
+		sd = math.Sqrt(sd/float64(len(bg))) + 1e-9
+		return (atChange - mean) / sd
+	}
+
+	newInner := func(seed int64) signature.Builder {
+		return signature.NewKMeansBuilder(8, cluster.Config{}, randx.New(seed))
+	}
+	plain := contrast(newInner(10), 20)
+	weighted := contrast(sel.Builder(newInner(10)), 20)
+	if weighted <= plain {
+		t.Errorf("weighted contrast %.2f <= plain %.2f — selection did not help", weighted, plain)
+	}
+}
+
+func TestBuilderPropagatesError(t *testing.T) {
+	sel := &Selector{Weights: []float64{1}}
+	wb := sel.Builder(signature.NewHistogramBuilder(0, 1, 2))
+	if _, err := wb.Build(bag.Bag{}); err == nil {
+		t.Error("empty bag should error through the wrapper")
+	}
+}
+
+func TestTransformSequence(t *testing.T) {
+	sel := &Selector{Weights: []float64{2}}
+	seq := bag.Sequence{bag.FromScalars(0, []float64{1, 2})}
+	out := sel.TransformSequence(seq)
+	if out[0].Points[1][0] != 4 {
+		t.Errorf("TransformSequence = %v", out[0].Points)
+	}
+}

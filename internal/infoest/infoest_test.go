@@ -1,0 +1,286 @@
+package infoest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestClampLog(t *testing.T) {
+	if got := ClampLog(math.E, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ClampLog(e) = %g, want 1", got)
+	}
+	if got := ClampLog(0, 0); got != math.Log(DefaultFloor) {
+		t.Errorf("ClampLog(0) = %g, want log(floor)", got)
+	}
+	if got := ClampLog(1e-3, 1e-2); got != math.Log(1e-2) {
+		t.Errorf("custom floor ignored: %g", got)
+	}
+}
+
+func TestInformationKnown(t *testing.T) {
+	// I = 0.5*log(2) + 0.5*log(8) = 0.5*(log 16) = 2 log 2.
+	logs := []float64{math.Log(2), math.Log(8)}
+	gamma := []float64{0.5, 0.5}
+	got := Information(logs, gamma)
+	want := 2 * math.Log(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Information = %g, want %g", got, want)
+	}
+}
+
+func TestInformationZeroWeightSkipsInf(t *testing.T) {
+	logs := []float64{math.Inf(-1), 0}
+	gamma := []float64{0, 1}
+	if got := Information(logs, gamma); got != 0 {
+		t.Errorf("zero-weight -Inf term leaked: %g", got)
+	}
+}
+
+func TestInformationPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Information([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestAutoEntropyKnownTwoPoints(t *testing.T) {
+	// Two items with distance e, uniform weights: each i contributes
+	// (0.5/(0.5))·0.5·1 = 0.5, total = 1.
+	l := math.Log(math.E)
+	logD := [][]float64{{0, l}, {l, 0}}
+	got := AutoEntropy(logD, []float64{0.5, 0.5})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("AutoEntropy = %g, want 1", got)
+	}
+}
+
+func TestAutoEntropyDegenerateWeight(t *testing.T) {
+	// γ_i = 1 has no leave-one-out distribution: contribution is zero.
+	logD := [][]float64{{0, 5}, {5, 0}}
+	if got := AutoEntropy(logD, []float64{1, 0}); got != 0 {
+		t.Errorf("AutoEntropy with degenerate weight = %g, want 0", got)
+	}
+}
+
+func TestCrossEntropyKnown(t *testing.T) {
+	// H(A,B) = Σ γa γb log d. With uniform weights this is the mean log
+	// distance.
+	logD := [][]float64{
+		{math.Log(1), math.Log(2)},
+		{math.Log(4), math.Log(8)},
+	}
+	got := CrossEntropy(logD, []float64{0.5, 0.5}, []float64{0.5, 0.5})
+	want := (0 + math.Log(2) + math.Log(4) + math.Log(8)) / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CrossEntropy = %g, want %g", got, want)
+	}
+}
+
+func TestEntropyOrderingForGaussians(t *testing.T) {
+	// Statistical sanity: the auto-entropy estimator must rank a wide
+	// Gaussian sample above a narrow one (H ≈ c + log σ in 1-D).
+	rng := randx.New(1)
+	build := func(sigma float64) ([][]float64, []float64) {
+		const n = 60
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Normal(0, sigma)
+		}
+		logD := make([][]float64, n)
+		for i := range logD {
+			logD[i] = make([]float64, n)
+			for j := range logD[i] {
+				if i != j {
+					logD[i][j] = ClampLog(math.Abs(xs[i]-xs[j]), 0)
+				}
+			}
+		}
+		return logD, UniformWeights(n)
+	}
+	narrowD, narrowG := build(1)
+	wideD, wideG := build(10)
+	hNarrow := AutoEntropy(narrowD, narrowG)
+	hWide := AutoEntropy(wideD, wideG)
+	if hWide <= hNarrow {
+		t.Errorf("entropy ordering violated: wide %g <= narrow %g", hWide, hNarrow)
+	}
+	// The theoretical gap is log(10); the estimator should be in the
+	// right ballpark.
+	if gap := hWide - hNarrow; math.Abs(gap-math.Log(10)) > 1.0 {
+		t.Errorf("entropy gap = %g, want ≈ %g", gap, math.Log(10))
+	}
+}
+
+// makeWindow builds a window from 1-D "signature positions": the log
+// distance is log|x_i − x_j| clamped.
+func makeWindow(ref, test []float64) Window {
+	all := append(append([]float64{}, ref...), test...)
+	n := len(all)
+	logD := make([][]float64, n)
+	for i := range logD {
+		logD[i] = make([]float64, n)
+		for j := range logD[i] {
+			if i != j {
+				logD[i][j] = ClampLog(math.Abs(all[i]-all[j]), 0)
+			}
+		}
+	}
+	return Window{LogD: logD, NRef: len(ref), NTest: len(test)}
+}
+
+func TestWindowValidate(t *testing.T) {
+	w := makeWindow([]float64{0, 1}, []float64{2, 3})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Window{LogD: w.LogD, NRef: 0, NTest: 4}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for NRef=0")
+	}
+	bad2 := Window{LogD: w.LogD[:3], NRef: 2, NTest: 2}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected error for short matrix")
+	}
+}
+
+func TestScoreLRDetectsShift(t *testing.T) {
+	// Reference clustered near 0; test clustered near 10. The inspection
+	// point (first test element) is far from the reference and close to
+	// the rest of the test set, so scoreLR must be strongly positive.
+	w := makeWindow([]float64{0, 0.1, -0.1, 0.05}, []float64{10, 10.1, 9.9, 10.05})
+	gRef := UniformWeights(4)
+	gTest := UniformWeights(4)
+	shifted := ScoreLR(w, gRef, gTest)
+
+	// Homogeneous case: everything near 0 → score near 0.
+	w0 := makeWindow([]float64{0, 0.1, -0.1, 0.05}, []float64{0.02, 0.08, -0.06, 0.01})
+	flat := ScoreLR(w0, gRef, gTest)
+	if shifted <= flat+1 {
+		t.Errorf("scoreLR shifted=%g flat=%g: shift not detected", shifted, flat)
+	}
+}
+
+func TestScoreKLDetectsShift(t *testing.T) {
+	w := makeWindow([]float64{0, 0.1, -0.1, 0.05}, []float64{10, 10.1, 9.9, 10.05})
+	gRef := UniformWeights(4)
+	gTest := UniformWeights(4)
+	shifted := ScoreKL(w, gRef, gTest)
+
+	w0 := makeWindow([]float64{0, 0.1, -0.1, 0.05}, []float64{0.02, 0.08, -0.06, 0.01})
+	flat := ScoreKL(w0, gRef, gTest)
+	if shifted <= flat+1 {
+		t.Errorf("scoreKL shifted=%g flat=%g: shift not detected", shifted, flat)
+	}
+}
+
+func TestScoreKLSymmetryInRefTest(t *testing.T) {
+	// Swapping reference and test must not change scoreKL (both terms of
+	// the symmetrized divergence swap roles).
+	rng := randx.New(2)
+	for trial := 0; trial < 50; trial++ {
+		nR, nT := 2+rng.Intn(4), 2+rng.Intn(4)
+		ref := make([]float64, nR)
+		test := make([]float64, nT)
+		for i := range ref {
+			ref[i] = rng.Normal(0, 1)
+		}
+		for i := range test {
+			test[i] = rng.Normal(1, 2)
+		}
+		w := makeWindow(ref, test)
+		wSwap := makeWindow(test, ref)
+		gR, gT := UniformWeights(nR), UniformWeights(nT)
+		a := ScoreKL(w, gR, gT)
+		b := ScoreKL(wSwap, gT, gR)
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("trial %d: scoreKL not symmetric: %g vs %g", trial, a, b)
+		}
+	}
+}
+
+func TestScoreLRRequiresTwoTestPoints(t *testing.T) {
+	w := makeWindow([]float64{0, 1}, []float64{2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for τ'=1")
+		}
+	}()
+	ScoreLR(w, UniformWeights(2), UniformWeights(1))
+}
+
+func TestScoreLRDegenerateTestWeight(t *testing.T) {
+	// All test mass on the inspection point: falls back to uniform
+	// leave-one-out; must not panic or return NaN.
+	w := makeWindow([]float64{0, 0.1}, []float64{5, 5.1, 4.9})
+	got := ScoreLR(w, UniformWeights(2), []float64{1, 0, 0})
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("degenerate weights produced %g", got)
+	}
+}
+
+func TestScoresWithZeroWeights(t *testing.T) {
+	// Zero weights drop terms; equivalent to removing those items. Using
+	// a window with an extreme outlier in the reference that has zero
+	// weight: scores must match the window without it.
+	wFull := makeWindow([]float64{0, 0.1, 1000}, []float64{5, 5.1})
+	gRefZero := []float64{0.5, 0.5, 0}
+	gTest := UniformWeights(2)
+	a := ScoreKL(wFull, gRefZero, gTest)
+
+	wTrim := makeWindow([]float64{0, 0.1}, []float64{5, 5.1})
+	b := ScoreKL(wTrim, UniformWeights(2), gTest)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("zero-weighted outlier affected scoreKL: %g vs %g", a, b)
+	}
+
+	aLR := ScoreLR(wFull, gRefZero, gTest)
+	bLR := ScoreLR(wTrim, UniformWeights(2), gTest)
+	if math.Abs(aLR-bLR) > 1e-9 {
+		t.Errorf("zero-weighted outlier affected scoreLR: %g vs %g", aLR, bLR)
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	w := UniformWeights(4)
+	for _, v := range w {
+		if v != 0.25 {
+			t.Fatalf("UniformWeights = %v", w)
+		}
+	}
+}
+
+func TestDiscountedWeights(t *testing.T) {
+	ref := DiscountedRefWeights(3)
+	// Raw: 1/3, 1/2, 1/1 → most recent (index 2) largest.
+	if !(ref[2] > ref[1] && ref[1] > ref[0]) {
+		t.Errorf("ref discounting not increasing toward t: %v", ref)
+	}
+	if math.Abs(ref[0]+ref[1]+ref[2]-1) > 1e-12 {
+		t.Errorf("ref weights do not sum to 1: %v", ref)
+	}
+	test := DiscountedTestWeights(3)
+	// Raw: 1/1, 1/2, 1/3 → inspection point (index 0) largest.
+	if !(test[0] > test[1] && test[1] > test[2]) {
+		t.Errorf("test discounting not decreasing from t: %v", test)
+	}
+	if math.Abs(test[0]+test[1]+test[2]-1) > 1e-12 {
+		t.Errorf("test weights do not sum to 1: %v", test)
+	}
+}
+
+func TestScoreUniformVsExplicitWeightsAgree(t *testing.T) {
+	rng := randx.New(3)
+	ref := []float64{rng.Normal(0, 1), rng.Normal(0, 1), rng.Normal(0, 1)}
+	test := []float64{rng.Normal(2, 1), rng.Normal(2, 1), rng.Normal(2, 1)}
+	w := makeWindow(ref, test)
+	a := ScoreKL(w, UniformWeights(3), UniformWeights(3))
+	explicit := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	b := ScoreKL(w, explicit, explicit)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("uniform vs explicit weights disagree: %g vs %g", a, b)
+	}
+}

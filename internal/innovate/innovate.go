@@ -1,0 +1,117 @@
+// Package innovate implements the paper's second "future work" direction
+// (§6): handling bags whose elements are CORRELATED rather than i.i.d.
+// The paper's prescription is classical — "signals are often preprocessed
+// by removing the predictable component. The resulting innovation time
+// series is an i.i.d. sequence" — and this package provides exactly that
+// preprocessing: each bag, interpreted as an ordered run of samples, is
+// fitted with an AR(p) model (Yule-Walker) and replaced by its residual
+// (innovation) bag.
+//
+// Whitening matters when the within-bag dependence masks a change: two
+// regimes can share an identical marginal distribution while differing in
+// dynamics (e.g. AR(1) with φ=0.9 and unit marginal variance versus white
+// noise with unit variance). Raw signatures cannot see such a change;
+// innovation signatures can.
+package innovate
+
+import (
+	"fmt"
+
+	"repro/internal/bag"
+	"repro/internal/vec"
+)
+
+// FitAR estimates AR(p) coefficients and the innovation variance of an
+// ordered sample run by solving the Yule-Walker equations on the sample
+// autocovariances. It returns an error when the run is too short or the
+// autocovariance system is singular.
+func FitAR(xs []float64, order int) (coef []float64, innovVar float64, err error) {
+	n := len(xs)
+	if order < 1 {
+		return nil, 0, fmt.Errorf("innovate: order must be >= 1, got %d", order)
+	}
+	if n < order+2 {
+		return nil, 0, fmt.Errorf("innovate: need at least %d samples for AR(%d), got %d", order+2, order, n)
+	}
+	mean := vec.Mean(xs)
+	// Sample autocovariances c[0..order].
+	c := make([]float64, order+1)
+	for lag := 0; lag <= order; lag++ {
+		s := 0.0
+		for i := lag; i < n; i++ {
+			s += (xs[i] - mean) * (xs[i-lag] - mean)
+		}
+		c[lag] = s / float64(n)
+	}
+	if c[0] <= 0 {
+		return nil, 0, fmt.Errorf("innovate: zero-variance run")
+	}
+	// Toeplitz system R·a = r.
+	r := vec.NewMatrix(order, order)
+	for i := 0; i < order; i++ {
+		for j := 0; j < order; j++ {
+			lag := i - j
+			if lag < 0 {
+				lag = -lag
+			}
+			r.Set(i, j, c[lag])
+		}
+		r.Set(i, i, r.At(i, i)*(1+1e-10)+1e-12)
+	}
+	coef, err = vec.SolveGauss(r, c[1:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("innovate: Yule-Walker solve: %w", err)
+	}
+	innovVar = c[0]
+	for i, a := range coef {
+		innovVar -= a * c[i+1]
+	}
+	if innovVar < 0 {
+		innovVar = 0
+	}
+	return coef, innovVar, nil
+}
+
+// Residuals returns the innovation sequence e_t = x_t − Σ a_i x_{t−i}
+// (computed on mean-centered values, mean added back out — residuals are
+// centered near zero). The output has len(xs) − order elements.
+func Residuals(xs []float64, coef []float64) []float64 {
+	order := len(coef)
+	mean := vec.Mean(xs)
+	out := make([]float64, 0, len(xs)-order)
+	for t := order; t < len(xs); t++ {
+		pred := 0.0
+		for i, a := range coef {
+			pred += a * (xs[t-1-i] - mean)
+		}
+		out = append(out, (xs[t]-mean)-pred)
+	}
+	return out
+}
+
+// Whiten replaces each 1-D bag with its AR(order) innovation bag. Bags
+// shorter than order+2 are passed through unchanged (they carry too
+// little sequence information to fit, and dropping them would break the
+// detector's windowing).
+func Whiten(seq bag.Sequence, order int) (bag.Sequence, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("innovate: order must be >= 1, got %d", order)
+	}
+	out := make(bag.Sequence, len(seq))
+	for i, b := range seq {
+		if b.Len() > 0 && b.Dim() != 1 {
+			return nil, fmt.Errorf("innovate: bag %d is %d-dimensional; whitening is defined for ordered scalar runs", i, b.Dim())
+		}
+		if b.Len() < order+2 {
+			out[i] = b
+			continue
+		}
+		xs := b.Scalars()
+		coef, _, err := FitAR(xs, order)
+		if err != nil {
+			return nil, fmt.Errorf("innovate: bag %d: %w", i, err)
+		}
+		out[i] = bag.FromScalars(b.T, Residuals(xs, coef))
+	}
+	return out, nil
+}

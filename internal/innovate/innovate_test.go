@@ -1,0 +1,196 @@
+package innovate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// arRun generates an AR(1) run with coefficient phi and innovation sd
+// sigma, started from stationarity.
+func arRun(rng *randx.RNG, n int, phi, sigma float64) []float64 {
+	out := make([]float64, n)
+	marginal := sigma / math.Sqrt(1-phi*phi)
+	out[0] = rng.Normal(0, marginal)
+	for i := 1; i < n; i++ {
+		out[i] = phi*out[i-1] + rng.Normal(0, sigma)
+	}
+	return out
+}
+
+func TestFitARRecoversCoefficient(t *testing.T) {
+	rng := randx.New(1)
+	xs := arRun(rng, 5000, 0.8, 1)
+	coef, innovVar, err := FitAR(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-0.8) > 0.05 {
+		t.Errorf("phi = %g, want 0.8", coef[0])
+	}
+	if math.Abs(innovVar-1) > 0.15 {
+		t.Errorf("innovation variance = %g, want 1", innovVar)
+	}
+}
+
+func TestFitARHigherOrder(t *testing.T) {
+	// AR(2): x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + e.
+	rng := randx.New(2)
+	n := 8000
+	xs := make([]float64, n)
+	for i := 2; i < n; i++ {
+		xs[i] = 0.5*xs[i-1] + 0.3*xs[i-2] + rng.Normal(0, 1)
+	}
+	coef, _, err := FitAR(xs[100:], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-0.5) > 0.07 || math.Abs(coef[1]-0.3) > 0.07 {
+		t.Errorf("coefficients = %v, want [0.5 0.3]", coef)
+	}
+}
+
+func TestFitARValidation(t *testing.T) {
+	if _, _, err := FitAR([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, _, err := FitAR([]float64{1, 2}, 1); err == nil {
+		t.Error("too-short run accepted")
+	}
+	if _, _, err := FitAR([]float64{5, 5, 5, 5, 5}, 1); err == nil {
+		t.Error("constant run accepted")
+	}
+}
+
+func TestResidualsAreWhite(t *testing.T) {
+	rng := randx.New(3)
+	xs := arRun(rng, 4000, 0.9, 1)
+	coef, _, err := FitAR(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Residuals(xs, coef)
+	if len(res) != len(xs)-1 {
+		t.Fatalf("residual length %d", len(res))
+	}
+	// Lag-1 autocorrelation of residuals must be near zero while the
+	// raw series has ~0.9.
+	acf := func(v []float64) float64 {
+		m := 0.0
+		for _, x := range v {
+			m += x
+		}
+		m /= float64(len(v))
+		num, den := 0.0, 0.0
+		for i := 1; i < len(v); i++ {
+			num += (v[i] - m) * (v[i-1] - m)
+		}
+		for _, x := range v {
+			den += (x - m) * (x - m)
+		}
+		return num / den
+	}
+	if raw := acf(xs); raw < 0.8 {
+		t.Fatalf("test setup: raw ACF %g too low", raw)
+	}
+	if white := acf(res); math.Abs(white) > 0.08 {
+		t.Errorf("residual ACF = %g, want ≈0", white)
+	}
+}
+
+func TestWhitenValidation(t *testing.T) {
+	seq := bag.Sequence{bag.New(0, [][]float64{{1, 2}})}
+	if _, err := Whiten(seq, 1); err == nil {
+		t.Error("2-D bags accepted")
+	}
+	if _, err := Whiten(nil, 0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	// Short bags pass through unchanged.
+	short := bag.Sequence{bag.FromScalars(0, []float64{1, 2})}
+	out, err := Whiten(short, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Len() != 2 {
+		t.Error("short bag was not passed through")
+	}
+}
+
+// TestWhiteningRevealsDynamicsChange is the headline test of the §6
+// extension: two regimes share the SAME marginal distribution (unit
+// variance, zero mean) but differ in dynamics (AR(1) φ=0.9 vs white
+// noise). Raw signatures cannot distinguish the regimes; innovation
+// signatures can.
+func TestWhiteningRevealsDynamicsChange(t *testing.T) {
+	rng := randx.New(4)
+	const n = 30
+	const change = 15
+	seq := make(bag.Sequence, n)
+	for ts := 0; ts < n; ts++ {
+		var run []float64
+		if ts < change {
+			// AR(1) with unit MARGINAL variance: sigma = sqrt(1-phi²).
+			run = arRun(rng, 400, 0.9, math.Sqrt(1-0.81))
+		} else {
+			run = arRun(rng, 400, 0.0, 1)
+		}
+		seq[ts] = bag.FromScalars(ts, run)
+	}
+
+	contrast := func(s bag.Sequence) float64 {
+		cfg := core.Config{
+			Tau: 5, TauPrime: 5,
+			Builder:   signature.NewHistogramBuilder(-5, 5, 30),
+			Bootstrap: bootstrap.Config{Replicates: 100},
+			Seed:      9,
+		}
+		points, err := core.Run(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var atChange float64
+		var bg []float64
+		for _, p := range points {
+			if p.T == change {
+				atChange = p.Score
+			} else if p.T < change-3 || p.T > change+3 {
+				bg = append(bg, p.Score)
+			}
+		}
+		mean, sd := 0.0, 0.0
+		for _, v := range bg {
+			mean += v
+		}
+		mean /= float64(len(bg))
+		for _, v := range bg {
+			sd += (v - mean) * (v - mean)
+		}
+		sd = math.Sqrt(sd/float64(len(bg))) + 1e-9
+		return (atChange - mean) / sd
+	}
+
+	raw := contrast(seq)
+	whitened, err := Whiten(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	white := contrast(whitened)
+	// Raw marginals are identical across the change: the raw contrast
+	// must be unremarkable (below 3 background sd). Whitened innovations
+	// change variance 0.19 → 1: the contrast must be strong.
+	if raw > 3 {
+		t.Errorf("raw contrast %g unexpectedly high — test premise broken", raw)
+	}
+	if white < 5 {
+		t.Errorf("whitened contrast %g too weak — whitening did not reveal the change", white)
+	}
+	if white <= raw {
+		t.Errorf("whitened contrast %g <= raw %g", white, raw)
+	}
+}

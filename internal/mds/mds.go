@@ -1,0 +1,109 @@
+// Package mds implements classical (Torgerson) multidimensional scaling,
+// used to render the Fig. 6 middle panels: given the pairwise EMD matrix
+// between bags, it embeds the bags in a low-dimensional Euclidean space
+// that best preserves the squared distances.
+package mds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Embed computes a k-dimensional classical MDS embedding of the n×n
+// symmetric distance matrix dist. It returns an n×k coordinate matrix
+// (rows are items) and the eigenvalues of the doubly centered Gram
+// matrix in descending order (useful to judge embedding quality).
+//
+// Dimensions whose eigenvalue is non-positive (the distance matrix is not
+// exactly Euclidean) are filled with zeros.
+func Embed(dist [][]float64, k int) (coords [][]float64, eigenvalues []float64, err error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("mds: empty distance matrix")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("mds: k must be >= 1, got %d", k)
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("mds: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dist[i][i] != 0 {
+			return nil, nil, fmt.Errorf("mds: nonzero diagonal at %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if math.Abs(dist[i][j]-dist[j][i]) > 1e-9*(1+math.Abs(dist[i][j])) {
+				return nil, nil, fmt.Errorf("mds: asymmetric at (%d,%d)", i, j)
+			}
+			if dist[i][j] < 0 {
+				return nil, nil, fmt.Errorf("mds: negative distance at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// B = −½ J D² J with J = I − 11ᵀ/n (double centering).
+	d2 := vec.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d2.Set(i, j, dist[i][j]*dist[i][j])
+		}
+	}
+	rowMean := make([]float64, n)
+	grand := 0.0
+	for i := 0; i < n; i++ {
+		rowMean[i] = vec.Mean(d2.Row(i))
+		grand += rowMean[i]
+	}
+	grand /= float64(n)
+	b := vec.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, -0.5*(d2.At(i, j)-rowMean[i]-rowMean[j]+grand))
+		}
+	}
+
+	vals, vecs, err := vec.EigenSym(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mds: eigendecomposition: %w", err)
+	}
+	if k > n {
+		k = n
+	}
+	coords = make([][]float64, n)
+	for i := range coords {
+		coords[i] = make([]float64, k)
+	}
+	for c := 0; c < k; c++ {
+		if vals[c] <= 0 {
+			continue // non-Euclidean residual dimension
+		}
+		scale := math.Sqrt(vals[c])
+		for i := 0; i < n; i++ {
+			coords[i][c] = scale * vecs.At(i, c)
+		}
+	}
+	return coords, vals, nil
+}
+
+// Stress returns the normalized residual Σ(d_ij − δ_ij)² / Σ d_ij²
+// between the input distances d and the embedding distances δ — a
+// goodness-of-fit measure for an MDS embedding (0 is perfect).
+func Stress(dist [][]float64, coords [][]float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range dist {
+		for j := i + 1; j < len(dist); j++ {
+			dij := dist[i][j]
+			delta := vec.Dist2(coords[i], coords[j])
+			num += (dij - delta) * (dij - delta)
+			den += dij * dij
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

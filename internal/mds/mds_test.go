@@ -1,0 +1,147 @@
+package mds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/vec"
+)
+
+func distMatrix(points [][]float64) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = vec.Dist2(points[i], points[j])
+		}
+	}
+	return d
+}
+
+func TestEmbedRecoversEuclideanConfiguration(t *testing.T) {
+	// Points in the plane: MDS on their exact distance matrix must
+	// reproduce all pairwise distances (up to rotation/reflection).
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 2}, {3, 3}, {-1, 1}}
+	d := distMatrix(pts)
+	coords, vals, err := Embed(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			got := vec.Dist2(coords[i], coords[j])
+			if math.Abs(got-d[i][j]) > 1e-8 {
+				t.Errorf("distance (%d,%d): embedded %g, want %g", i, j, got, d[i][j])
+			}
+		}
+	}
+	// Only two meaningful dimensions: remaining eigenvalues ~0.
+	for c := 2; c < len(vals); c++ {
+		if math.Abs(vals[c]) > 1e-8 {
+			t.Errorf("eigenvalue %d = %g, want ~0", c, vals[c])
+		}
+	}
+}
+
+func TestEmbedStressNearZeroForEuclidean(t *testing.T) {
+	rng := randx.New(1)
+	pts := make([][]float64, 15)
+	for i := range pts {
+		pts[i] = rng.NormalVec(2, 0, 3)
+	}
+	d := distMatrix(pts)
+	coords, _, err := Embed(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Stress(d, coords); s > 1e-10 {
+		t.Errorf("stress = %g, want ~0", s)
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	// Two groups with small within-distance, large across-distance: the
+	// 2-D embedding must keep the groups apart (this is exactly how
+	// Fig. 6 uses MDS on EMD matrices).
+	rng := randx.New(2)
+	n := 20
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var base float64
+			if (i < 10) == (j < 10) {
+				base = 1
+			} else {
+				base = 10
+			}
+			v := base + rng.Float64()*0.1
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	coords, _, err := Embed(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, across := 0.0, 0.0
+	nw, na := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dd := vec.Dist2(coords[i], coords[j])
+			if (i < 10) == (j < 10) {
+				within += dd
+				nw++
+			} else {
+				across += dd
+				na++
+			}
+		}
+	}
+	if across/float64(na) <= 2*within/float64(nw) {
+		t.Errorf("embedding does not separate clusters: across %g, within %g", across/float64(na), within/float64(nw))
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	if _, _, err := Embed(nil, 2); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := Embed([][]float64{{0, 1}, {1, 0}}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Embed([][]float64{{0, 1}}, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := Embed([][]float64{{1, 0}, {0, 0}}, 1); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	if _, _, err := Embed([][]float64{{0, 1}, {2, 0}}, 1); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, _, err := Embed([][]float64{{0, -1}, {-1, 0}}, 1); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestEmbedKLargerThanN(t *testing.T) {
+	d := [][]float64{{0, 1}, {1, 0}}
+	coords, _, err := Embed(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords[0]) != 2 {
+		t.Errorf("k should clamp to n: got %d dims", len(coords[0]))
+	}
+}
+
+func TestStressZeroDistanceMatrix(t *testing.T) {
+	d := [][]float64{{0, 0}, {0, 0}}
+	coords := [][]float64{{0}, {0}}
+	if s := Stress(d, coords); s != 0 {
+		t.Errorf("Stress = %g, want 0", s)
+	}
+}

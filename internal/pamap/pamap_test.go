@@ -1,0 +1,189 @@
+package pamap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestTable1(t *testing.T) {
+	acts := Table1()
+	if len(acts) != 12 {
+		t.Fatalf("Table 1 has %d activities, want 12", len(acts))
+	}
+	for i, a := range acts {
+		if int(a) != i+1 {
+			t.Errorf("activity %d has id %d", i, int(a))
+		}
+		if a.Name() == "" {
+			t.Errorf("activity %d has empty name", int(a))
+		}
+	}
+	if Lying.Name() != "lying" || RopeJumping.Name() != "rope jumping" {
+		t.Error("Table 1 names wrong")
+	}
+	if Activity(99).Name() == "" {
+		t.Error("unknown activity should render")
+	}
+}
+
+func TestProtocol(t *testing.T) {
+	p0 := Protocol(0)
+	if len(p0) != 14 {
+		t.Fatalf("protocol length %d, want 14", len(p0))
+	}
+	// The stairs interleave.
+	count6, count7 := 0, 0
+	for _, a := range p0 {
+		if a == AscendingStairs {
+			count6++
+		}
+		if a == DescendingStairs {
+			count7++
+		}
+	}
+	if count6 != 2 || count7 != 2 {
+		t.Errorf("stairs appear %d/%d times, want 2/2", count6, count7)
+	}
+	// Subject 1 (0-based) skips rope jumping, like Fig. 7(b).
+	p1 := Protocol(1)
+	for _, a := range p1 {
+		if a == RopeJumping {
+			t.Error("subject 1 should skip rope jumping")
+		}
+	}
+}
+
+func TestGenerateShapesMatchPaperStatistics(t *testing.T) {
+	rng := randx.New(1)
+	rec := Generate(Config{Subject: 0}, rng)
+	if err := rec.Bags.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Bags) != len(rec.Labels) {
+		t.Fatal("labels not parallel to bags")
+	}
+	// Paper: 251.8 ± 32.5 bags per subject.
+	if len(rec.Bags) < 180 || len(rec.Bags) > 330 {
+		t.Errorf("bag count %d outside plausible range", len(rec.Bags))
+	}
+	// Paper: 947.8 ± 162.3 records per bag.
+	total := 0
+	for _, b := range rec.Bags {
+		total += b.Len()
+		if b.Dim() != Dim {
+			t.Fatalf("bag dim %d", b.Dim())
+		}
+	}
+	mean := float64(total) / float64(len(rec.Bags))
+	if mean < 800 || mean > 1100 {
+		t.Errorf("mean bag size %g, want ≈948", mean)
+	}
+	// Sizes must actually vary (sampling jitter + dropouts).
+	varSum := 0.0
+	for _, b := range rec.Bags {
+		d := float64(b.Len()) - mean
+		varSum += d * d
+	}
+	sd := math.Sqrt(varSum / float64(len(rec.Bags)))
+	if sd < 50 {
+		t.Errorf("bag size sd %g too small — no jitter", sd)
+	}
+}
+
+func TestChangesMatchLabelBoundaries(t *testing.T) {
+	rec := Generate(Config{Subject: 0}, randx.New(2))
+	// Changes must be exactly the indices where labels switch.
+	var want []int
+	for i := 1; i < len(rec.Labels); i++ {
+		if rec.Labels[i] != rec.Labels[i-1] {
+			want = append(want, i)
+		}
+	}
+	if len(want) != len(rec.Changes) {
+		t.Fatalf("changes %v vs label boundaries %v", rec.Changes, want)
+	}
+	for i := range want {
+		if rec.Changes[i] != want[i] {
+			t.Fatalf("changes %v vs label boundaries %v", rec.Changes, want)
+		}
+	}
+	// 14 segments → 13 changes.
+	if len(rec.Changes) != 13 {
+		t.Errorf("%d changes, want 13", len(rec.Changes))
+	}
+}
+
+func TestRegimesSeparateByIntensity(t *testing.T) {
+	// Sanity on the sensor model: resting activities must have lower
+	// IMU magnitude and heart rate than vigorous ones.
+	rng := randx.New(3)
+	rec := Generate(Config{Subject: 0}, rng)
+	meanFor := func(act Activity, ch int) float64 {
+		s, n := 0.0, 0
+		for i, b := range rec.Bags {
+			if rec.Labels[i] != act {
+				continue
+			}
+			for _, p := range b.Points {
+				s += p[ch]
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if meanFor(Lying, 3) >= meanFor(Running, 3) {
+		t.Error("lying heart rate >= running heart rate")
+	}
+	if meanFor(Lying, 0) >= meanFor(Running, 0) {
+		t.Error("lying IMU >= running IMU")
+	}
+	// Stairs up vs down differ most on the ankle channel (2).
+	up, down := meanFor(AscendingStairs, 2), meanFor(DescendingStairs, 2)
+	if math.Abs(up-down) < 0.2 {
+		t.Errorf("stair regimes indistinguishable on ankle: %g vs %g", up, down)
+	}
+}
+
+func TestPerSubjectVariation(t *testing.T) {
+	a := Generate(Config{Subject: 0}, randx.New(4))
+	b := Generate(Config{Subject: 2}, randx.New(5))
+	// Same activity, different subjects → offset heart rates.
+	hrMean := func(rec *Recording) float64 {
+		s, n := 0.0, 0
+		for i, bg := range rec.Bags {
+			if rec.Labels[i] != Lying {
+				continue
+			}
+			for _, p := range bg.Points {
+				s += p[3]
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if math.Abs(hrMean(a)-hrMean(b)) < 0.5 {
+		t.Log("subjects happen to have close HR offsets (allowed but unusual)")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Generate(Config{Subject: 0}, randx.New(6))
+	b := Generate(Config{Subject: 0}, randx.New(6))
+	if len(a.Bags) != len(b.Bags) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Bags {
+		if a.Bags[i].Len() != b.Bags[i].Len() {
+			t.Fatal("bag sizes differ")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.BagSeconds != 10 || c.MeanBagsPerActivity != 18 || c.MeanRecordsPerBag != 948 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

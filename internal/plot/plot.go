@@ -1,0 +1,225 @@
+// Package plot renders the repository's experiment artifacts as ASCII:
+// score series with confidence bands and alarm marks (Fig. 6/7/10/11
+// right panels), distance-matrix heatmaps (Fig. 6 left panels), and 2-D
+// scatter plots for MDS embeddings (Fig. 6 middle panels). Everything
+// writes plain text so experiment drivers can stream to stdout or logs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series renders a line plot of values (optionally with [lo, hi]
+// confidence bands: pass nil to omit) over `height` text rows. Alarm
+// positions (indices into values) are marked with 'X' on an extra rail,
+// and change positions with '|'. Width equals len(values) columns.
+func Series(title string, values, lo, hi []float64, alarms, changes []int, height int) string {
+	n := len(values)
+	if n == 0 {
+		return title + ": (empty)\n"
+	}
+	if height < 2 {
+		height = 8
+	}
+	if (lo != nil && len(lo) != n) || (hi != nil && len(hi) != n) {
+		return title + ": (malformed confidence bands)\n"
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	scan := func(xs []float64) {
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	scan(values)
+	if lo != nil {
+		scan(lo)
+	}
+	if hi != nil {
+		scan(hi)
+	}
+	if math.IsInf(minV, 1) {
+		return title + ": (no finite values)\n"
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	rowOf := func(v float64) int {
+		r := int(math.Round((v - minV) / (maxV - minV) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	alarmSet := map[int]bool{}
+	for _, a := range alarms {
+		alarmSet[a] = true
+	}
+	changeSet := map[int]bool{}
+	for _, c := range changes {
+		changeSet[c] = true
+	}
+	for i := 0; i < n; i++ {
+		if changeSet[i] {
+			for r := 0; r < height; r++ {
+				grid[r][i] = ':'
+			}
+		}
+		if lo != nil && hi != nil && !math.IsNaN(lo[i]) && !math.IsNaN(hi[i]) {
+			top, bot := rowOf(hi[i]), rowOf(lo[i])
+			for r := top; r <= bot; r++ {
+				grid[r][i] = '.'
+			}
+		}
+		if !math.IsNaN(values[i]) && !math.IsInf(values[i], 0) {
+			grid[rowOf(values[i])][i] = '*'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.3g, %.3g]\n", title, minV, maxV)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	rail := []byte(strings.Repeat("-", n))
+	for i := range rail {
+		if alarmSet[i] {
+			rail[i] = 'X'
+		}
+	}
+	b.Write(rail)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Heatmap renders a matrix with darker glyphs for larger values — the
+// ASCII analogue of the Fig. 6 EMD matrices.
+func Heatmap(title string, m [][]float64) string {
+	if len(m) == 0 {
+		return title + ": (empty)\n"
+	}
+	shades := []byte(" .:-=+*#%@")
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range m {
+		for _, v := range row {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.3g, %.3g]\n", title, minV, maxV)
+	for _, row := range m {
+		line := make([]byte, len(row))
+		for j, v := range row {
+			idx := int((v - minV) / (maxV - minV) * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			line[j] = shades[idx]
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scatter renders 2-D points in a width×height character grid, labelling
+// each point with the last digit of its index (the Fig. 6 MDS panels
+// label bags by number). Points beyond the first 10 reuse digits.
+func Scatter(title string, pts [][]float64, width, height int) string {
+	if len(pts) == 0 {
+		return title + ": (empty)\n"
+	}
+	if width < 8 {
+		width = 48
+	}
+	if height < 4 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if len(p) < 2 {
+			return title + ": (points must be 2-D)\n"
+		}
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, p := range pts {
+		c := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((p[1]-minY)/(maxY-minY)*float64(height-1))
+		grid[r][c] = byte('0' + i%10)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  x:[%.3g, %.3g] y:[%.3g, %.3g]\n", title, minX, maxX, minY, maxY)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EventRaster renders alarm times against labelled event times on a
+// shared time axis of n steps — the ASCII analogue of Fig. 11's event
+// alignment.
+func EventRaster(title string, n int, alarms, events []int) string {
+	if n <= 0 {
+		return title + ": (empty)\n"
+	}
+	alarmRow := []byte(strings.Repeat(" ", n))
+	eventRow := []byte(strings.Repeat(" ", n))
+	for _, a := range alarms {
+		if a >= 0 && a < n {
+			alarmRow[a] = 'X'
+		}
+	}
+	for _, e := range events {
+		if e >= 0 && e < n {
+			eventRow[e] = '|'
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("alarms: " + string(alarmRow) + "\n")
+	b.WriteString("events: " + string(eventRow) + "\n")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasic(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 2, 1, 0}
+	out := Series("test", vals, nil, nil, []int{3}, []int{2}, 5)
+	if !strings.Contains(out, "test") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + alarm rail.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs")
+	}
+	rail := lines[len(lines)-1]
+	if rail[3] != 'X' {
+		t.Errorf("alarm mark missing: %q", rail)
+	}
+	if !strings.Contains(out, ":") {
+		t.Error("change-point column missing")
+	}
+}
+
+func TestSeriesWithBands(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	lo := []float64{0.5, 1.5, 2.5}
+	hi := []float64{1.5, 2.5, 3.5}
+	out := Series("bands", vals, lo, hi, nil, nil, 9)
+	if !strings.Contains(out, ".") {
+		t.Error("confidence band glyphs missing")
+	}
+}
+
+func TestSeriesEdgeCases(t *testing.T) {
+	if out := Series("e", nil, nil, nil, nil, nil, 5); !strings.Contains(out, "empty") {
+		t.Error("empty series")
+	}
+	out := Series("nan", []float64{math.NaN(), math.NaN()}, nil, nil, nil, nil, 5)
+	if !strings.Contains(out, "no finite") {
+		t.Errorf("all-NaN series: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out = Series("const", []float64{2, 2, 2}, nil, nil, nil, nil, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not rendered")
+	}
+	// Malformed bands.
+	out = Series("bad", []float64{1, 2}, []float64{1}, nil, nil, nil, 5)
+	if !strings.Contains(out, "malformed") {
+		t.Error("malformed bands not reported")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]float64{{0, 1}, {1, 0}}
+	out := Heatmap("hm", m)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Diagonal (0) must be lighter than off-diagonal (1).
+	if lines[1][0] == lines[1][1] {
+		t.Error("heatmap has no contrast")
+	}
+	if out := Heatmap("e", nil); !strings.Contains(out, "empty") {
+		t.Error("empty heatmap")
+	}
+	// Constant matrix must not panic.
+	Heatmap("c", [][]float64{{5, 5}, {5, 5}})
+}
+
+func TestScatter(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {0.5, 0.2}}
+	out := Scatter("sc", pts, 20, 10)
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Errorf("point labels missing:\n%s", out)
+	}
+	if out := Scatter("e", nil, 10, 10); !strings.Contains(out, "empty") {
+		t.Error("empty scatter")
+	}
+	if out := Scatter("bad", [][]float64{{1}}, 10, 10); !strings.Contains(out, "2-D") {
+		t.Error("1-D points not rejected")
+	}
+	// Tiny requested size gets clamped.
+	out = Scatter("clamp", pts, 1, 1)
+	if len(out) < 10 {
+		t.Error("clamped scatter too small")
+	}
+}
+
+func TestEventRaster(t *testing.T) {
+	out := EventRaster("er", 10, []int{2, 11}, []int{2, 5})
+	if !strings.Contains(out, "alarms") || !strings.Contains(out, "events") {
+		t.Error("rows missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	alarmRow := strings.TrimPrefix(lines[1], "alarms: ")
+	if alarmRow[2] != 'X' {
+		t.Error("alarm not marked")
+	}
+	if strings.Count(alarmRow, "X") != 1 {
+		t.Error("out-of-range alarm leaked")
+	}
+	if out := EventRaster("e", 0, nil, nil); !strings.Contains(out, "empty") {
+		t.Error("empty raster")
+	}
+}

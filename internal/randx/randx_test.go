@@ -1,0 +1,295 @@
+package randx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(1)
+	a := r.Split(1)
+	b := r.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams look identical (%d/100 equal draws)", same)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(2, 3)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("Normal mean = %g, want 2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("Normal variance = %g, want 9", variance)
+	}
+}
+
+func TestNormalVec(t *testing.T) {
+	r := New(5)
+	v := r.NormalVec(7, 0, 1)
+	if len(v) != 7 {
+		t.Fatalf("NormalVec length %d, want 7", len(v))
+	}
+}
+
+func TestMVNormalMoments(t *testing.T) {
+	mean := []float64{1, -1}
+	cov := vec.NewMatrixFrom([][]float64{{2, 0.8}, {0.8, 1}})
+	mv, err := NewMVNormal(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Dim() != 2 {
+		t.Fatalf("Dim = %d", mv.Dim())
+	}
+	r := New(7)
+	const n = 100000
+	var s0, s1, s00, s11, s01 float64
+	for i := 0; i < n; i++ {
+		x := mv.Sample(r)
+		s0 += x[0]
+		s1 += x[1]
+		s00 += x[0] * x[0]
+		s11 += x[1] * x[1]
+		s01 += x[0] * x[1]
+	}
+	m0, m1 := s0/n, s1/n
+	if math.Abs(m0-1) > 0.05 || math.Abs(m1+1) > 0.05 {
+		t.Errorf("MVNormal mean = (%g,%g), want (1,-1)", m0, m1)
+	}
+	c00 := s00/n - m0*m0
+	c11 := s11/n - m1*m1
+	c01 := s01/n - m0*m1
+	if math.Abs(c00-2) > 0.1 || math.Abs(c11-1) > 0.06 || math.Abs(c01-0.8) > 0.06 {
+		t.Errorf("MVNormal cov = [%g %g; %g %g], want [2 0.8; 0.8 1]", c00, c01, c01, c11)
+	}
+}
+
+func TestMVNormalRejectsBadCov(t *testing.T) {
+	if _, err := NewMVNormal([]float64{0}, vec.NewMatrix(2, 2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	bad := vec.NewMatrixFrom([][]float64{{1, 0}, {0, -1}})
+	if _, err := NewMVNormal([]float64{0, 0}, bad); err == nil {
+		t.Fatal("expected PSD error")
+	}
+}
+
+func TestMVNormalIsotropic(t *testing.T) {
+	mv := NewMVNormalIsotropic([]float64{3, 0, 0}, 2)
+	r := New(11)
+	const n = 50000
+	var s, sq float64
+	for i := 0; i < n; i++ {
+		x := mv.Sample(r)
+		s += x[0]
+		sq += (x[0] - 3) * (x[0] - 3)
+	}
+	if math.Abs(s/n-3) > 0.05 {
+		t.Errorf("isotropic mean = %g, want 3", s/n)
+	}
+	if math.Abs(sq/n-4) > 0.15 {
+		t.Errorf("isotropic variance = %g, want 4", sq/n)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 20, 50, 200} {
+		r := New(13)
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(lambda))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		tol := 4 * math.Sqrt(lambda/float64(n)) * 3 // ~3 sigma with margin
+		if math.Abs(mean-lambda) > math.Max(tol, 0.05) {
+			t.Errorf("Poisson(%g) mean = %g", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > math.Max(0.1*lambda, 0.1) {
+			t.Errorf("Poisson(%g) variance = %g", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	r := New(1)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson(<=0) must be 0")
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 1}, {1, 2}, {3, 0.5}, {10, 1},
+	} {
+		r := New(17)
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := r.Gamma(tc.shape, tc.scale)
+			if x < 0 {
+				t.Fatalf("Gamma produced negative %g", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.02 {
+			t.Errorf("Gamma(%g,%g) mean = %g, want %g", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.05 {
+			t.Errorf("Gamma(%g,%g) variance = %g, want %g", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Gamma(0, 1)
+}
+
+func TestDirichletProperties(t *testing.T) {
+	r := New(19)
+	alpha := []float64{1, 2, 3, 4}
+	const n = 50000
+	sums := make([]float64, len(alpha))
+	for i := 0; i < n; i++ {
+		p := r.Dirichlet(alpha)
+		total := 0.0
+		for j, v := range p {
+			if v < 0 {
+				t.Fatalf("negative component %g", v)
+			}
+			total += v
+			sums[j] += v
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("Dirichlet sample sums to %g", total)
+		}
+	}
+	// E[p_j] = alpha_j / alpha_0 with alpha_0 = 10.
+	for j, a := range alpha {
+		want := a / 10.0
+		got := sums[j] / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Dirichlet mean[%d] = %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestDirichletUniformMatchesDirichletOnes(t *testing.T) {
+	r := New(23)
+	const n = 20000
+	// Var of Dir(1,1,1) component is (1/3)(2/3)/4 = 1/18.
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		p := r.DirichletUniform(3)
+		if math.Abs(p[0]+p[1]+p[2]-1) > 1e-9 {
+			t.Fatal("DirichletUniform does not sum to 1")
+		}
+		sum += p[0]
+		sumSq += p[0] * p[0]
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1.0/3) > 0.01 {
+		t.Errorf("mean = %g, want 1/3", mean)
+	}
+	if math.Abs(variance-1.0/18) > 0.008 {
+		t.Errorf("variance = %g, want %g", variance, 1.0/18)
+	}
+}
+
+func TestDirichletIntoValidatesLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).DirichletInto([]float64{1, 1}, make([]float64, 3))
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(29)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	got := float64(counts[2]) / n
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("P(2) = %g, want 0.75", got)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { New(1).Categorical(nil) },
+		"zero":     func() { New(1).Categorical([]float64{0, 0}) },
+		"negative": func() { New(1).Categorical([]float64{1, -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(31)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.015 {
+		t.Errorf("Bernoulli(0.3) rate = %g", p)
+	}
+}

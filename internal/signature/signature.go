@@ -1,0 +1,344 @@
+// Package signature implements the bag summaries of §3.1 of the paper: a
+// signature S = {(u_k, w_k)} is a set of cluster centers u_k with masses
+// w_k (the number of bag points quantized to each center). Builders turn a
+// bag into a signature via k-means, k-medoids, online competitive
+// learning, or fixed-width histogram binning (the 1-D special case the
+// paper highlights).
+package signature
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bag"
+	"repro/internal/cluster"
+	"repro/internal/randx"
+	"repro/internal/vec"
+)
+
+// Signature is a weighted point set summarizing one bag's distribution.
+type Signature struct {
+	// Centers are the representative vectors u_k.
+	Centers [][]float64
+	// Weights are the masses w_k >= 0 (typically cluster populations).
+	Weights []float64
+}
+
+// Len returns the number of (center, weight) pairs.
+func (s Signature) Len() int { return len(s.Centers) }
+
+// Dim returns the dimension of the centers, or 0 for an empty signature.
+func (s Signature) Dim() int {
+	if len(s.Centers) == 0 {
+		return 0
+	}
+	return len(s.Centers[0])
+}
+
+// TotalWeight returns the sum of the weights.
+func (s Signature) TotalWeight() float64 { return vec.Sum(s.Weights) }
+
+// Validate checks structural consistency: matching lengths, uniform
+// dimension, non-negative finite weights, and positive total weight.
+func (s Signature) Validate() error {
+	if len(s.Centers) != len(s.Weights) {
+		return fmt.Errorf("signature: %d centers but %d weights", len(s.Centers), len(s.Weights))
+	}
+	if len(s.Centers) == 0 {
+		return fmt.Errorf("signature: empty")
+	}
+	d := len(s.Centers[0])
+	for i, c := range s.Centers {
+		if len(c) != d {
+			return fmt.Errorf("signature: center %d has dimension %d, want %d", i, len(c), d)
+		}
+	}
+	total := 0.0
+	for i, w := range s.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("signature: weight %d is %g", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("signature: total weight is %g", total)
+	}
+	return nil
+}
+
+// Normalized returns a copy whose weights sum to 1. Signatures with equal
+// total mass make EMD a true metric, so detector pipelines normalize by
+// default.
+func (s Signature) Normalized() Signature {
+	total := s.TotalWeight()
+	out := Signature{Centers: s.Centers, Weights: make([]float64, len(s.Weights))}
+	if total <= 0 {
+		return out
+	}
+	for i, w := range s.Weights {
+		out.Weights[i] = w / total
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s Signature) Clone() Signature {
+	out := Signature{
+		Centers: make([][]float64, len(s.Centers)),
+		Weights: vec.Clone(s.Weights),
+	}
+	for i, c := range s.Centers {
+		out.Centers[i] = vec.Clone(c)
+	}
+	return out
+}
+
+// Mean returns the weighted mean of the signature's centers.
+func (s Signature) Mean() []float64 {
+	if s.Len() == 0 {
+		return nil
+	}
+	m := make([]float64, s.Dim())
+	total := s.TotalWeight()
+	if total <= 0 {
+		return m
+	}
+	for i, c := range s.Centers {
+		vec.AddScaled(m, s.Weights[i]/total, c)
+	}
+	return m
+}
+
+// A Builder turns a bag into a signature.
+type Builder interface {
+	// Build summarizes b. It returns an error for bags it cannot
+	// summarize (e.g. empty bags).
+	Build(b bag.Bag) (Signature, error)
+}
+
+// KMeansBuilder quantizes bags with k-means (§3.1). The zero value is not
+// usable; construct with NewKMeansBuilder.
+type KMeansBuilder struct {
+	k   int
+	cfg cluster.Config
+	rng *randx.RNG
+}
+
+// NewKMeansBuilder creates a k-means signature builder with at most k
+// clusters per bag. The rng drives the k-means++ seeding; pass a split
+// stream for reproducibility.
+func NewKMeansBuilder(k int, cfg cluster.Config, rng *randx.RNG) *KMeansBuilder {
+	return &KMeansBuilder{k: k, cfg: cfg, rng: rng}
+}
+
+// Build implements Builder.
+func (kb *KMeansBuilder) Build(b bag.Bag) (Signature, error) {
+	if b.Len() == 0 {
+		return Signature{}, fmt.Errorf("signature: cannot summarize empty bag (t=%d)", b.T)
+	}
+	res, err := cluster.KMeans(b.Points, kb.k, kb.cfg, kb.rng)
+	if err != nil {
+		return Signature{}, err
+	}
+	return fromClusterResult(res), nil
+}
+
+// KMedoidsBuilder quantizes bags with k-medoids.
+type KMedoidsBuilder struct {
+	k   int
+	cfg cluster.Config
+	rng *randx.RNG
+}
+
+// NewKMedoidsBuilder creates a k-medoids signature builder.
+func NewKMedoidsBuilder(k int, cfg cluster.Config, rng *randx.RNG) *KMedoidsBuilder {
+	return &KMedoidsBuilder{k: k, cfg: cfg, rng: rng}
+}
+
+// Build implements Builder.
+func (kb *KMedoidsBuilder) Build(b bag.Bag) (Signature, error) {
+	if b.Len() == 0 {
+		return Signature{}, fmt.Errorf("signature: cannot summarize empty bag (t=%d)", b.T)
+	}
+	res, err := cluster.KMedoids(b.Points, kb.k, kb.cfg, kb.rng)
+	if err != nil {
+		return Signature{}, err
+	}
+	return fromClusterResult(res), nil
+}
+
+// OnlineBuilder quantizes bags with one-pass competitive learning
+// (unsupervised LVQ), suitable for very large bags.
+type OnlineBuilder struct {
+	k     int
+	rate0 float64
+}
+
+// NewOnlineBuilder creates an online quantizer builder with k centers and
+// initial learning rate rate0.
+func NewOnlineBuilder(k int, rate0 float64) *OnlineBuilder {
+	return &OnlineBuilder{k: k, rate0: rate0}
+}
+
+// Build implements Builder.
+func (ob *OnlineBuilder) Build(b bag.Bag) (Signature, error) {
+	if b.Len() == 0 {
+		return Signature{}, fmt.Errorf("signature: cannot summarize empty bag (t=%d)", b.T)
+	}
+	o := cluster.NewOnline(ob.k, ob.rate0)
+	for _, p := range b.Points {
+		o.Push(p)
+	}
+	return fromClusterResult(o.Result(b.Points)), nil
+}
+
+func fromClusterResult(res *cluster.Result) Signature {
+	s := Signature{
+		Centers: res.Centers,
+		Weights: make([]float64, len(res.Counts)),
+	}
+	for i, c := range res.Counts {
+		s.Weights[i] = float64(c)
+	}
+	return s
+}
+
+// HistogramBuilder bins 1-D bags into fixed-width bins over [Lo, Hi)
+// (§3.1's "very simple way to make signatures"). Out-of-range points are
+// clamped into the boundary bins. Empty bins are dropped from the
+// signature (signatures are sparse histograms).
+type HistogramBuilder struct {
+	Lo, Hi float64
+	Bins   int
+}
+
+// NewHistogramBuilder creates a histogram builder with the given range and
+// bin count. It panics for invalid parameters so misconfiguration fails
+// fast at experiment setup.
+func NewHistogramBuilder(lo, hi float64, bins int) *HistogramBuilder {
+	if bins < 1 || !(hi > lo) {
+		panic(fmt.Sprintf("signature: invalid histogram [%g,%g) with %d bins", lo, hi, bins))
+	}
+	return &HistogramBuilder{Lo: lo, Hi: hi, Bins: bins}
+}
+
+// Build implements Builder for 1-D bags.
+func (hb *HistogramBuilder) Build(b bag.Bag) (Signature, error) {
+	if b.Len() == 0 {
+		return Signature{}, fmt.Errorf("signature: cannot summarize empty bag (t=%d)", b.T)
+	}
+	if b.Dim() != 1 {
+		return Signature{}, fmt.Errorf("signature: histogram builder needs 1-D bags, got %d-D", b.Dim())
+	}
+	width := (hb.Hi - hb.Lo) / float64(hb.Bins)
+	counts := make([]float64, hb.Bins)
+	for _, p := range b.Points {
+		idx := int((p[0] - hb.Lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= hb.Bins {
+			idx = hb.Bins - 1
+		}
+		counts[idx]++
+	}
+	var s Signature
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		mid := hb.Lo + (float64(i)+0.5)*width
+		s.Centers = append(s.Centers, []float64{mid})
+		s.Weights = append(s.Weights, c)
+	}
+	return s, nil
+}
+
+// GridBuilder bins d-dimensional bags into a fixed-width grid, the d-D
+// generalization of HistogramBuilder. Bins are addressed sparsely so only
+// occupied cells consume memory.
+type GridBuilder struct {
+	Lo, Hi []float64
+	Bins   int // bins per dimension
+}
+
+// NewGridBuilder creates a grid builder over the box [lo, hi) with bins
+// cells per dimension. It panics for invalid parameters.
+func NewGridBuilder(lo, hi []float64, bins int) *GridBuilder {
+	if bins < 1 || len(lo) != len(hi) || len(lo) == 0 {
+		panic("signature: invalid grid parameters")
+	}
+	for j := range lo {
+		if !(hi[j] > lo[j]) {
+			panic(fmt.Sprintf("signature: invalid grid range dim %d [%g,%g)", j, lo[j], hi[j]))
+		}
+	}
+	return &GridBuilder{Lo: vec.Clone(lo), Hi: vec.Clone(hi), Bins: bins}
+}
+
+// Build implements Builder.
+func (gb *GridBuilder) Build(b bag.Bag) (Signature, error) {
+	if b.Len() == 0 {
+		return Signature{}, fmt.Errorf("signature: cannot summarize empty bag (t=%d)", b.T)
+	}
+	d := b.Dim()
+	if d != len(gb.Lo) {
+		return Signature{}, fmt.Errorf("signature: grid builder is %d-D but bag is %d-D", len(gb.Lo), d)
+	}
+	type cell struct {
+		count  float64
+		center []float64
+	}
+	cells := map[string]*cell{}
+	key := make([]byte, 0, d*4)
+	idx := make([]int, d)
+	for _, p := range b.Points {
+		key = key[:0]
+		for j := 0; j < d; j++ {
+			width := (gb.Hi[j] - gb.Lo[j]) / float64(gb.Bins)
+			k := int((p[j] - gb.Lo[j]) / width)
+			if k < 0 {
+				k = 0
+			}
+			if k >= gb.Bins {
+				k = gb.Bins - 1
+			}
+			idx[j] = k
+			key = append(key, byte(k), byte(k>>8), byte(k>>16), 0xff)
+		}
+		c, ok := cells[string(key)]
+		if !ok {
+			center := make([]float64, d)
+			for j := 0; j < d; j++ {
+				width := (gb.Hi[j] - gb.Lo[j]) / float64(gb.Bins)
+				center[j] = gb.Lo[j] + (float64(idx[j])+0.5)*width
+			}
+			c = &cell{center: center}
+			cells[string(key)] = c
+		}
+		c.count++
+	}
+	s := Signature{
+		Centers: make([][]float64, 0, len(cells)),
+		Weights: make([]float64, 0, len(cells)),
+	}
+	for _, c := range cells {
+		s.Centers = append(s.Centers, c.center)
+		s.Weights = append(s.Weights, c.count)
+	}
+	return s, nil
+}
+
+// BuildSequence applies builder to every bag of seq, returning one
+// signature per bag. It stops at the first failing bag.
+func BuildSequence(builder Builder, seq bag.Sequence) ([]Signature, error) {
+	out := make([]Signature, len(seq))
+	for i, b := range seq {
+		s, err := builder.Build(b)
+		if err != nil {
+			return nil, fmt.Errorf("bag %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+// Package synth generates the paper's synthetic bag sequences: the Fig. 1
+// motivating example (a 1-D Gaussian-mixture stream whose sample mean is
+// uninformative) and the five 2-D datasets of §5.1 used to study the
+// behaviour of the bootstrap confidence intervals.
+//
+// All generators use 0-based bag indices; a change "at index c" means bag
+// c is the first bag drawn from the new regime (the paper's 1-based
+// "change at t = 11" is index 10 here).
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bag"
+	"repro/internal/randx"
+)
+
+// Fig1Len is the length of the Fig. 1 sequence.
+const Fig1Len = 150
+
+// Fig1Changes are the change indices of the Fig. 1 sequence: at index 50
+// the generator switches from one Gaussian to a two-component mixture,
+// and at 100 to a three-component mixture. All mixtures are symmetric
+// about zero, so the per-bag sample mean stays ≈0 throughout — exactly
+// the property that defeats single-vector methods in Fig. 1(b)/(c).
+var Fig1Changes = []int{50, 100}
+
+// Fig1Sequence generates the Fig. 1 stream: 150 bags of ~300 one-
+// dimensional points each.
+//
+//	bags [0,50):    N(0, 1)
+//	bags [50,100):  ½N(−4, 1) + ½N(4, 1)
+//	bags [100,150): ⅓N(−7, 1) + ⅓N(0, 1) + ⅓N(7, 1)
+func Fig1Sequence(rng *randx.RNG) bag.Sequence {
+	seq := make(bag.Sequence, Fig1Len)
+	for t := 0; t < Fig1Len; t++ {
+		n := 280 + rng.Intn(41) // "about 300 instances at each step"
+		vals := make([]float64, n)
+		for i := range vals {
+			switch {
+			case t < 50:
+				vals[i] = rng.Normal(0, 1)
+			case t < 100:
+				if rng.Bernoulli(0.5) {
+					vals[i] = rng.Normal(-4, 1)
+				} else {
+					vals[i] = rng.Normal(4, 1)
+				}
+			default:
+				switch rng.Intn(3) {
+				case 0:
+					vals[i] = rng.Normal(-7, 1)
+				case 1:
+					vals[i] = rng.Normal(0, 1)
+				default:
+					vals[i] = rng.Normal(7, 1)
+				}
+			}
+		}
+		seq[t] = bag.FromScalars(t, vals)
+	}
+	return seq
+}
+
+// Section51Len is the number of bags in each §5.1 dataset.
+const Section51Len = 20
+
+// Section51Dataset identifies one of the five synthetic datasets of §5.1.
+type Section51Dataset int
+
+// The five §5.1 datasets.
+const (
+	// LargeVariance: all points from N(0, 15²·I); no change points.
+	LargeVariance Section51Dataset = iota + 1
+	// HeavyNoise: 80% standard normal, 20% scattered noise; no changes.
+	HeavyNoise
+	// CircularDrift: the mean moves smoothly on a circle; no significant
+	// change points (a constantly, gradually changing distribution).
+	CircularDrift
+	// MeanJump: the mean jumps from (3,0) to (−3,0) at index 10.
+	MeanJump
+	// SpeedUp: the mean circles at radius √3 until index 10, then at
+	// radius 3 (it "starts to move faster").
+	SpeedUp
+)
+
+// String implements fmt.Stringer.
+func (d Section51Dataset) String() string {
+	switch d {
+	case LargeVariance:
+		return "Dataset 1 (large variance)"
+	case HeavyNoise:
+		return "Dataset 2 (80/20 noise)"
+	case CircularDrift:
+		return "Dataset 3 (circular drift)"
+	case MeanJump:
+		return "Dataset 4 (mean jump)"
+	case SpeedUp:
+		return "Dataset 5 (speed up)"
+	default:
+		return fmt.Sprintf("Section51Dataset(%d)", int(d))
+	}
+}
+
+// Changes returns the indices of the dataset's significant change points
+// (empty when the paper says there are none).
+func (d Section51Dataset) Changes() []int {
+	switch d {
+	case MeanJump, SpeedUp:
+		return []int{10}
+	default:
+		return nil
+	}
+}
+
+// Generate produces the 20-bag sequence for the dataset. Each bag holds
+// n_t ~ Poisson(50) two-dimensional Gaussian points per the §5.1 recipes.
+func (d Section51Dataset) Generate(rng *randx.RNG) (bag.Sequence, error) {
+	if d < LargeVariance || d > SpeedUp {
+		return nil, fmt.Errorf("synth: unknown §5.1 dataset %d", int(d))
+	}
+	seq := make(bag.Sequence, Section51Len)
+	for t := 0; t < Section51Len; t++ {
+		n := rng.Poisson(50)
+		if n == 0 {
+			n = 1 // bags must be non-empty for signature building
+		}
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = d.samplePoint(rng, t)
+		}
+		seq[t] = bag.New(t, pts)
+	}
+	return seq, nil
+}
+
+// samplePoint draws one point of bag index t (paper time t+1).
+func (d Section51Dataset) samplePoint(rng *randx.RNG, t int) []float64 {
+	paperT := float64(t + 1) // the §5.1 formulas are 1-based
+	switch d {
+	case LargeVariance:
+		return []float64{rng.Normal(0, 15), rng.Normal(0, 15)}
+	case HeavyNoise:
+		if rng.Bernoulli(0.8) {
+			return []float64{rng.Normal(0, 1), rng.Normal(0, 1)}
+		}
+		// Noise: mean itself drawn from N(0, 20·I) per point, Σ = 5·I.
+		mx := rng.Normal(0, math.Sqrt(20))
+		my := rng.Normal(0, math.Sqrt(20))
+		return []float64{rng.Normal(mx, math.Sqrt(5)), rng.Normal(my, math.Sqrt(5))}
+	case CircularDrift:
+		angle := math.Pi * (paperT - 0.5) / 5
+		mx := math.Sqrt(3) * math.Cos(angle)
+		my := math.Sqrt(3) * math.Sin(angle)
+		return []float64{rng.Normal(mx, 1), rng.Normal(my, 1)}
+	case MeanJump:
+		mu := 3.0
+		if t >= 10 {
+			mu = -3.0
+		}
+		return []float64{rng.Normal(mu, 1), rng.Normal(0, 1)}
+	case SpeedUp:
+		rho := math.Sqrt(3)
+		if t >= 10 {
+			rho = 3
+		}
+		angle := math.Pi * (paperT - 0.5) / 5
+		return []float64{
+			rng.Normal(rho*math.Cos(angle), 1),
+			rng.Normal(rho*math.Sin(angle), 1),
+		}
+	default:
+		panic("unreachable")
+	}
+}
+
+// AllSection51 lists the five datasets in paper order.
+func AllSection51() []Section51Dataset {
+	return []Section51Dataset{LargeVariance, HeavyNoise, CircularDrift, MeanJump, SpeedUp}
+}
+
+// GMM1D describes a one-dimensional Gaussian mixture used by example
+// programs: components with means Mu, standard deviations Sigma, and
+// mixing proportions Pi (normalized internally).
+type GMM1D struct {
+	Mu, Sigma, Pi []float64
+}
+
+// Sample draws one value from the mixture.
+func (g GMM1D) Sample(rng *randx.RNG) float64 {
+	k := rng.Categorical(g.Pi)
+	return rng.Normal(g.Mu[k], g.Sigma[k])
+}
+
+// Bag draws a bag of n values at time t.
+func (g GMM1D) Bag(rng *randx.RNG, t, n int) bag.Bag {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = g.Sample(rng)
+	}
+	return bag.FromScalars(t, vals)
+}

@@ -1,0 +1,251 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/vec"
+)
+
+func TestFig1SequenceShape(t *testing.T) {
+	seq := Fig1Sequence(randx.New(1))
+	if len(seq) != Fig1Len {
+		t.Fatalf("length %d, want %d", len(seq), Fig1Len)
+	}
+	for i, b := range seq {
+		if b.Len() < 280 || b.Len() > 320 {
+			t.Errorf("bag %d has %d points, want ~300", i, b.Len())
+		}
+		if b.Dim() != 1 {
+			t.Fatalf("bag %d dim %d", i, b.Dim())
+		}
+	}
+}
+
+func TestFig1SampleMeanIsUninformative(t *testing.T) {
+	// The crux of Fig. 1: each regime is symmetric about 0, so the
+	// per-bag sample means stay near 0 in ALL regimes.
+	seq := Fig1Sequence(randx.New(2))
+	for i, b := range seq {
+		m := b.Mean()[0]
+		if math.Abs(m) > 1.2 {
+			t.Errorf("bag %d mean = %g, should be ≈0", i, m)
+		}
+	}
+}
+
+func TestFig1RegimesDifferInSpread(t *testing.T) {
+	// The distributions DO change: regime variances grow with each
+	// change (1 → 16+1 → ~33).
+	seq := Fig1Sequence(randx.New(3))
+	variance := func(i int) float64 {
+		vals := seq[i].Scalars()
+		m := vec.Mean(vals)
+		s := 0.0
+		for _, v := range vals {
+			s += (v - m) * (v - m)
+		}
+		return s / float64(len(vals))
+	}
+	v1 := variance(25)
+	v2 := variance(75)
+	v3 := variance(125)
+	if !(v1 < v2 && v2 < v3) {
+		t.Errorf("regime variances not increasing: %g, %g, %g", v1, v2, v3)
+	}
+	if math.Abs(v1-1) > 0.4 {
+		t.Errorf("regime 1 variance = %g, want ≈1", v1)
+	}
+	if math.Abs(v2-17) > 4 {
+		t.Errorf("regime 2 variance = %g, want ≈17", v2)
+	}
+}
+
+func TestSection51Shapes(t *testing.T) {
+	for _, d := range AllSection51() {
+		seq, err := d.Generate(randx.New(4))
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if len(seq) != Section51Len {
+			t.Fatalf("%v: length %d", d, len(seq))
+		}
+		if err := seq.Validate(); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		total := 0
+		for _, b := range seq {
+			if b.Dim() != 2 {
+				t.Fatalf("%v: dim %d", d, b.Dim())
+			}
+			total += b.Len()
+		}
+		// n_t ~ Poisson(50): mean bag size near 50.
+		avg := float64(total) / Section51Len
+		if avg < 35 || avg > 65 {
+			t.Errorf("%v: mean bag size %g, want ≈50", d, avg)
+		}
+	}
+}
+
+func TestSection51Changes(t *testing.T) {
+	wants := map[Section51Dataset][]int{
+		LargeVariance: nil,
+		HeavyNoise:    nil,
+		CircularDrift: nil,
+		MeanJump:      {10},
+		SpeedUp:       {10},
+	}
+	for d, want := range wants {
+		got := d.Changes()
+		if len(got) != len(want) {
+			t.Errorf("%v: changes = %v, want %v", d, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v: changes = %v, want %v", d, got, want)
+			}
+		}
+	}
+}
+
+func TestSection51InvalidID(t *testing.T) {
+	if _, err := Section51Dataset(0).Generate(randx.New(1)); err == nil {
+		t.Error("dataset 0 accepted")
+	}
+	if _, err := Section51Dataset(9).Generate(randx.New(1)); err == nil {
+		t.Error("dataset 9 accepted")
+	}
+}
+
+func TestMeanJumpActuallyJumps(t *testing.T) {
+	seq, err := MeanJump.Generate(randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := 0.0
+	after := 0.0
+	for t2 := 0; t2 < 10; t2++ {
+		before += seq[t2].Mean()[0]
+	}
+	for t2 := 10; t2 < 20; t2++ {
+		after += seq[t2].Mean()[0]
+	}
+	before /= 10
+	after /= 10
+	if math.Abs(before-3) > 1 {
+		t.Errorf("pre-change mean x = %g, want ≈3", before)
+	}
+	if math.Abs(after+3) > 1 {
+		t.Errorf("post-change mean x = %g, want ≈-3", after)
+	}
+}
+
+func TestLargeVarianceIsStationary(t *testing.T) {
+	seq, err := LargeVariance.Generate(randx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bag means fluctuate but centre on 0 with sd ≈ 15/√50 ≈ 2.1.
+	for i, b := range seq {
+		m := b.Mean()
+		if math.Hypot(m[0], m[1]) > 10 {
+			t.Errorf("bag %d mean %v too far from origin", i, m)
+		}
+	}
+}
+
+func TestCircularDriftMovesOnCircle(t *testing.T) {
+	seq, err := CircularDrift.Generate(randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bag means should sit near radius √3 with drifting angle.
+	for i, b := range seq {
+		m := b.Mean()
+		r := math.Hypot(m[0], m[1])
+		if math.Abs(r-math.Sqrt(3)) > 1 {
+			t.Errorf("bag %d mean radius %g, want ≈√3", i, r)
+		}
+	}
+	// Consecutive means must actually move.
+	moved := 0.0
+	for i := 1; i < len(seq); i++ {
+		moved += vec.Dist2(seq[i].Mean(), seq[i-1].Mean())
+	}
+	if moved < 3 {
+		t.Errorf("total drift %g too small", moved)
+	}
+}
+
+func TestSpeedUpRadiusGrows(t *testing.T) {
+	seq, err := SpeedUp.Generate(randx.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBefore, rAfter := 0.0, 0.0
+	for t2 := 0; t2 < 10; t2++ {
+		m := seq[t2].Mean()
+		rBefore += math.Hypot(m[0], m[1])
+	}
+	for t2 := 10; t2 < 20; t2++ {
+		m := seq[t2].Mean()
+		rAfter += math.Hypot(m[0], m[1])
+	}
+	rBefore /= 10
+	rAfter /= 10
+	if math.Abs(rBefore-math.Sqrt(3)) > 0.5 {
+		t.Errorf("pre-change radius %g, want ≈√3", rBefore)
+	}
+	if math.Abs(rAfter-3) > 0.5 {
+		t.Errorf("post-change radius %g, want ≈3", rAfter)
+	}
+}
+
+func TestDatasetStrings(t *testing.T) {
+	for _, d := range AllSection51() {
+		if d.String() == "" {
+			t.Error("empty dataset name")
+		}
+	}
+	if Section51Dataset(42).String() == "" {
+		t.Error("unknown dataset should still render")
+	}
+}
+
+func TestGMM1D(t *testing.T) {
+	g := GMM1D{Mu: []float64{-5, 5}, Sigma: []float64{0.1, 0.1}, Pi: []float64{1, 1}}
+	rng := randx.New(9)
+	b := g.Bag(rng, 3, 1000)
+	if b.T != 3 || b.Len() != 1000 {
+		t.Fatalf("bag shape %d/%d", b.T, b.Len())
+	}
+	neg, pos := 0, 0
+	for _, v := range b.Scalars() {
+		if v < 0 {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	if neg < 400 || pos < 400 {
+		t.Errorf("mixture imbalance: %d/%d", neg, pos)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Fig1Sequence(randx.New(10))
+	b := Fig1Sequence(randx.New(10))
+	for i := range a {
+		if a[i].Len() != b[i].Len() {
+			t.Fatal("lengths differ")
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j][0] != b[i].Points[j][0] {
+				t.Fatal("values differ")
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix A such that A = L·Lᵀ. It returns an error if A
+// is not square or not positive definite (within a small tolerance that
+// accepts positive semi-definite matrices with tiny negative pivots due to
+// rounding, clamping them to zero).
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("vec: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		switch {
+		case d > 0:
+			l.Set(j, j, math.Sqrt(d))
+		case d > -1e-10*(1+math.Abs(a.At(j, j))):
+			// Semi-definite within rounding: clamp the pivot.
+			l.Set(j, j, 0)
+		default:
+			return nil, fmt.Errorf("vec: Cholesky matrix not positive definite (pivot %g at %d)", d, j)
+		}
+		ljj := l.At(j, j)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if ljj == 0 {
+				l.Set(i, j, 0)
+			} else {
+				l.Set(i, j, s/ljj)
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,167 @@
+// Package vec provides the small dense linear-algebra kernel used across
+// the repository: vector operations, a dense matrix type, Cholesky
+// factorization, symmetric eigendecomposition (cyclic Jacobi), and linear
+// solves. It is deliberately minimal: only the routines required by the
+// MDS embedding, multivariate normal sampling, and the SDAR baseline are
+// implemented, all on float64 and backed by plain slices.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a, computed with scaling to avoid
+// overflow/underflow for extreme magnitudes.
+func Norm2(a []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range a {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	return math.Sqrt(SqDist2(a, b))
+}
+
+// SqDist2 returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ.
+func SqDist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: SqDist2 length mismatch %d != %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist1 returns the L1 (Manhattan) distance between a and b.
+// It panics if the lengths differ.
+func Dist1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dist1 length mismatch %d != %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}
+
+// DistInf returns the L∞ (Chebyshev) distance between a and b.
+// It panics if the lengths differ.
+func DistInf(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: DistInf length mismatch %d != %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		if d := math.Abs(v - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// AddScaled sets dst[i] += alpha*src[i] and returns dst.
+// It panics if the lengths differ.
+func AddScaled(dst []float64, alpha float64, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: AddScaled length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+	return dst
+}
+
+// Scale multiplies every element of a by alpha in place and returns a.
+func Scale(a []float64, alpha float64) []float64 {
+	for i := range a {
+		a[i] *= alpha
+	}
+	return a
+}
+
+// Sum returns the sum of the elements of a.
+func Sum(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// Clone returns a fresh copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// ArgMin returns the index of the smallest element of a, or -1 for an
+// empty slice. Ties resolve to the first occurrence.
+func ArgMin(a []float64) int {
+	if len(a) == 0 {
+		return -1
+	}
+	best, bi := a[0], 0
+	for i, v := range a[1:] {
+		if v < best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// ArgMax returns the index of the largest element of a, or -1 for an
+// empty slice. Ties resolve to the first occurrence.
+func ArgMax(a []float64) int {
+	if len(a) == 0 {
+		return -1
+	}
+	best, bi := a[0], 0
+	for i, v := range a[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

@@ -1,0 +1,434 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{}, []float64{}, 0},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Dot(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2(3,4) = %g, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %g, want 0", got)
+	}
+	// Extreme magnitudes must not overflow.
+	if got := Norm2([]float64{1e200, 1e200}); math.IsInf(got, 0) {
+		t.Error("Norm2 overflowed on large inputs")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Dist2(a, b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Dist2 = %g, want 5", got)
+	}
+	if got := SqDist2(a, b); !almostEq(got, 25, 1e-12) {
+		t.Errorf("SqDist2 = %g, want 25", got)
+	}
+	if got := Dist1(a, b); !almostEq(got, 7, 1e-12) {
+		t.Errorf("Dist1 = %g, want 7", got)
+	}
+	if got := DistInf(a, b); !almostEq(got, 4, 1e-12) {
+		t.Errorf("DistInf = %g, want 4", got)
+	}
+}
+
+func TestDistancesAreMetrics(t *testing.T) {
+	// Property: symmetry, identity, triangle inequality on random vectors.
+	rng := rand.New(rand.NewSource(1))
+	dists := map[string]func(a, b []float64) float64{
+		"L2":   Dist2,
+		"L1":   Dist1,
+		"Linf": DistInf,
+	}
+	for name, d := range dists {
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(5)
+			x := make([]float64, n)
+			y := make([]float64, n)
+			z := make([]float64, n)
+			for i := range x {
+				x[i], y[i], z[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+			}
+			if !almostEq(d(x, y), d(y, x), 1e-12) {
+				t.Fatalf("%s: not symmetric", name)
+			}
+			if d(x, x) != 0 {
+				t.Fatalf("%s: d(x,x) != 0", name)
+			}
+			if d(x, z) > d(x, y)+d(y, z)+1e-12 {
+				t.Fatalf("%s: triangle inequality violated", name)
+			}
+		}
+	}
+}
+
+func TestAddScaledScaleSumMeanClone(t *testing.T) {
+	a := []float64{1, 2, 3}
+	AddScaled(a, 2, []float64{1, 1, 1})
+	want := []float64{3, 4, 5}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("AddScaled = %v, want %v", a, want)
+		}
+	}
+	Scale(a, 0.5)
+	if a[0] != 1.5 || a[2] != 2.5 {
+		t.Fatalf("Scale = %v", a)
+	}
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	orig := []float64{9, 8}
+	cp := Clone(orig)
+	cp[0] = 0
+	if orig[0] != 9 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestArgMinArgMax(t *testing.T) {
+	if got := ArgMin([]float64{3, 1, 2, 1}); got != 1 {
+		t.Errorf("ArgMin = %d, want 1 (first tie)", got)
+	}
+	if got := ArgMax([]float64{3, 5, 2, 5}); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first tie)", got)
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Error("ArgMin/ArgMax(nil) should be -1")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+	tr := m.T()
+	if tr.At(0, 1) != 9 {
+		t.Fatalf("T: got %g", tr.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	if len(m.String()) == 0 {
+		t.Fatal("String should not be empty")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := NewMatrixFrom([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("Mul = %v, want %v", got.Data, want.Data)
+		}
+	}
+	x := a.MulVec([]float64{1, 1})
+	if x[0] != 3 || x[1] != 7 {
+		t.Fatalf("MulVec = %v", x)
+	}
+}
+
+func TestMatrixMulIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		got := a.Mul(Identity(n))
+		for i := range a.Data {
+			if !almostEq(got.Data[i], a.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddScaleMaxAbs(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, -5}, {2, 3}})
+	b := NewMatrixFrom([][]float64{{1, 1}, {1, 1}})
+	a.AddInPlace(b).ScaleInPlace(2)
+	if a.At(0, 0) != 4 || a.At(0, 1) != -8 {
+		t.Fatalf("AddInPlace/ScaleInPlace: %v", a.Data)
+	}
+	if got := a.MaxAbs(); got != 8 {
+		t.Fatalf("MaxAbs = %g, want 8", got)
+	}
+}
+
+func TestSolveGauss(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Fatalf("SolveGauss = %v, want %v", x, want)
+		}
+	}
+	// b must be unmodified.
+	if b[0] != 8 {
+		t.Error("SolveGauss modified rhs")
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveGauss(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for singular matrix")
+	}
+}
+
+func TestSolveGaussProperty(t *testing.T) {
+	// Property: for random well-conditioned A and x, solving A·(A·x)=b
+	// recovers x.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := SolveGauss(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				t.Fatalf("trial %d: recovered %v, want %v", trial, got, x)
+			}
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrixFrom([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	for i := range want.Data {
+		if !almostEq(l.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("Cholesky =\n%vwant\n%v", l, want)
+		}
+	}
+}
+
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		// A = G·Gᵀ + εI is SPD.
+		a := g.Mul(g.T())
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1e-6)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rec := l.Mul(l.T())
+		for i := range a.Data {
+			if !almostEq(rec.Data[i], a.Data[i], 1e-8*(1+a.MaxAbs())) {
+				t.Fatalf("trial %d: L·Lᵀ != A", trial)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 0}, {0, -1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Eigenvectors must be ±e1, ±e2.
+	if !almostEq(math.Abs(vecs.At(0, 0)), 1, 1e-10) {
+		t.Fatalf("eigenvector matrix:\n%v", vecs)
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFrom([][]float64{{2, 1}, {1, 2}})
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+}
+
+func TestEigenSymReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Eigenvalues must be descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("trial %d: eigenvalues not sorted: %v", trial, vals)
+			}
+		}
+		// V·diag(λ)·Vᵀ must reconstruct A.
+		d := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, vals[i])
+		}
+		rec := vecs.Mul(d).Mul(vecs.T())
+		for i := range a.Data {
+			if !almostEq(rec.Data[i], a.Data[i], 1e-7*(1+a.MaxAbs())) {
+				t.Fatalf("trial %d: reconstruction error", trial)
+			}
+		}
+		// Columns must be orthonormal.
+		vtv := vecs.T().Mul(vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(vtv.At(i, j), want, 1e-8) {
+					t.Fatalf("trial %d: eigenvectors not orthonormal", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestEigenSymRejectsNonSymmetric(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("expected error for non-symmetric input")
+	}
+}
+
+func TestEigenSymTraceProperty(t *testing.T) {
+	// Property: sum of eigenvalues equals the trace.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := NewMatrix(n, n)
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+			trace += a.At(i, i)
+		}
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		return almostEq(Sum(vals), trace, 1e-8*(1+math.Abs(trace)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

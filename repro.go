@@ -1,0 +1,233 @@
+// Package repro is a Go implementation of "Change-Point Detection in a
+// Sequence of Bags-of-Data" (Koshijima, Hino & Murata, IEEE TKDE 27(10),
+// 2015). It detects change points in time series whose observation at
+// each step is a BAG — a variable-size collection of d-dimensional
+// vectors — rather than a single vector.
+//
+// The pipeline (paper §3-§4):
+//
+//  1. each bag is summarized as a signature {(center, mass)} by k-means,
+//     k-medoids, online quantization, or histogram binning;
+//  2. signatures are embedded in a metric space with the Earth Mover's
+//     Distance, computed exactly by a transportation simplex;
+//  3. a change-point score compares the reference window (τ bags before
+//     the inspection point) with the test window (τ′ bags from it):
+//     the log-likelihood-ratio score (Eq. 16) or the symmetrized-KL
+//     score (Eq. 17), both built from distance-based information
+//     estimators for weighted data (Hino & Murata 2013);
+//  4. a Bayesian bootstrap resamples the signature weights to attach a
+//     confidence interval to every score, and an alarm is raised only
+//     when the interval at t clears the interval at t−τ′ (Eq. 18-20) —
+//     an adaptive threshold that suppresses false alarms under noise
+//     and drift.
+//
+// Quick start:
+//
+//	det, err := repro.NewDetector(repro.Config{
+//		Tau: 5, TauPrime: 5,
+//		Builder: repro.NewHistogramBuilder(-10, 10, 40),
+//	})
+//	...
+//	for t, values := range stream {
+//		point, err := det.Push(repro.BagFromScalars(t, values))
+//		if point != nil && point.Alarm {
+//			// significant change at time point.T
+//		}
+//	}
+//
+// The experiment drivers behind every figure of the paper live in
+// cmd/repro; see EXPERIMENTS.md for the reproduction log.
+package repro
+
+import (
+	"repro/internal/bag"
+	"repro/internal/bootstrap"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/emd"
+	"repro/internal/eval"
+	"repro/internal/featsel"
+	"repro/internal/innovate"
+	"repro/internal/mds"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// Bag is the observation at one time step: a set of d-dimensional points.
+type Bag = bag.Bag
+
+// Sequence is an ordered series of bags.
+type Sequence = bag.Sequence
+
+// NewBag constructs a bag at time t; it panics on ragged points.
+func NewBag(t int, points [][]float64) Bag { return bag.New(t, points) }
+
+// BagFromScalars builds a 1-D bag from a plain value slice.
+func BagFromScalars(t int, values []float64) Bag { return bag.FromScalars(t, values) }
+
+// Signature is a weighted point set summarizing one bag (§3.1).
+type Signature = signature.Signature
+
+// Builder converts bags into signatures.
+type Builder = signature.Builder
+
+// NewKMeansBuilder quantizes each bag with k-means (k-means++ seeding)
+// into at most k clusters. The seed makes signature construction
+// reproducible.
+func NewKMeansBuilder(k int, seed int64) Builder {
+	return signature.NewKMeansBuilder(k, cluster.Config{}, randx.New(seed))
+}
+
+// NewKMedoidsBuilder quantizes each bag with k-medoids (medoids are data
+// points; robust to outliers).
+func NewKMedoidsBuilder(k int, seed int64) Builder {
+	return signature.NewKMedoidsBuilder(k, cluster.Config{}, randx.New(seed))
+}
+
+// NewOnlineBuilder quantizes each bag in one pass with competitive
+// learning (LVQ-style); suitable for very large bags.
+func NewOnlineBuilder(k int, rate float64) Builder {
+	return signature.NewOnlineBuilder(k, rate)
+}
+
+// NewHistogramBuilder bins 1-D bags into fixed-width bins over [lo, hi) —
+// the paper's "very simple way to make signatures". Out-of-range points
+// clamp into the boundary bins.
+func NewHistogramBuilder(lo, hi float64, bins int) Builder {
+	return signature.NewHistogramBuilder(lo, hi, bins)
+}
+
+// NewGridBuilder bins d-D bags into a fixed-width grid with `bins` cells
+// per dimension.
+func NewGridBuilder(lo, hi []float64, bins int) Builder {
+	return signature.NewGridBuilder(lo, hi, bins)
+}
+
+// Ground is a ground distance between signature centers for EMD.
+type Ground = emd.Ground
+
+// Predefined ground distances.
+var (
+	// Euclidean is the L2 ground distance (the default).
+	Euclidean = emd.Euclidean
+	// Manhattan is the L1 ground distance.
+	Manhattan = emd.Manhattan
+	// Chebyshev is the L∞ ground distance.
+	Chebyshev = emd.Chebyshev
+)
+
+// EMD returns the Earth Mover's Distance between two signatures under
+// ground distance g (nil selects Euclidean with an exact 1-D fast path).
+// Different total masses trigger the paper's partial matching (Eq. 7-12).
+func EMD(s, t Signature, g Ground) (float64, error) { return emd.Distance(s, t, g) }
+
+// ScoreType selects the change-point score.
+type ScoreType = core.ScoreType
+
+// The two change-point scores of §3.3.
+const (
+	// ScoreKL is the symmetrized-KL score (Eq. 17): robust, conservative.
+	ScoreKL = core.ScoreKL
+	// ScoreLR is the likelihood-ratio score (Eq. 16): sensitive, noisier.
+	ScoreLR = core.ScoreLR
+)
+
+// Weighting selects the base weights of the window signatures.
+type Weighting = core.Weighting
+
+// Base weight schemes (Eq. 15).
+const (
+	// WeightUniform weights every signature equally (paper §5 default).
+	WeightUniform = core.WeightUniform
+	// WeightDiscounted favours signatures near the inspection point.
+	WeightDiscounted = core.WeightDiscounted
+)
+
+// Config parameterizes a Detector. Tau, TauPrime and Builder are
+// required; everything else has sensible defaults.
+type Config = core.Config
+
+// BootstrapConfig controls the Bayesian-bootstrap confidence intervals:
+// Replicates (default 1000) and Alpha (default 0.05).
+type BootstrapConfig = bootstrap.Config
+
+// Interval is a bootstrap confidence interval with its point estimate.
+type Interval = bootstrap.Interval
+
+// Point is the detector output at one inspection time.
+type Point = core.Point
+
+// Detector is the streaming change-point detector. Not safe for
+// concurrent use.
+type Detector = core.Detector
+
+// NewDetector validates cfg and returns a ready Detector.
+func NewDetector(cfg Config) (*Detector, error) { return core.New(cfg) }
+
+// Run processes an entire sequence through a fresh detector.
+func Run(cfg Config, seq Sequence) ([]Point, error) { return core.Run(cfg, seq) }
+
+// Alarms extracts the inspection times with raised alarms.
+func Alarms(points []Point) []int { return core.Alarms(points) }
+
+// Scores extracts the score series.
+func Scores(points []Point) []float64 { return core.Scores(points) }
+
+// PairwiseEMD returns the full EMD matrix between all bags of a sequence
+// (signatures built with builder, normalized to unit mass). Feed it to
+// MDSEmbed to visualize the bags the way Fig. 6 does.
+func PairwiseEMD(builder Builder, seq Sequence, g Ground) ([][]float64, error) {
+	return core.PairwiseEMD(builder, seq, g, false)
+}
+
+// MDSEmbed computes a k-dimensional classical multidimensional-scaling
+// embedding of a symmetric distance matrix. It returns the coordinates
+// and the Gram eigenvalues (descending).
+func MDSEmbed(dist [][]float64, k int) ([][]float64, []float64, error) {
+	return mds.Embed(dist, k)
+}
+
+// Metrics summarizes detection quality against ground truth.
+type Metrics = eval.Metrics
+
+// MatchAlarms scores alarms against true change points: an alarm matches
+// a change c when c−before <= alarm <= c+after.
+func MatchAlarms(alarms, changes []int, before, after int) Metrics {
+	return eval.Match(alarms, changes, before, after)
+}
+
+// Segment is a half-open regime interval [Start, End).
+type Segment = eval.Segment
+
+// Segments converts alarm times into a segmentation of [0, n), merging
+// alarm bursts closer than minGap into a single boundary — the
+// preprocessing/segmentation use of change-point detection from the
+// paper's introduction.
+func Segments(alarms []int, n, minGap int) []Segment {
+	return eval.Segments(alarms, n, minGap)
+}
+
+// --- §6 extensions -----------------------------------------------------------
+
+// FeatureSelector holds learned per-dimension relevance weights (the
+// paper's first future-work direction: online feature selection from
+// labeled change/no-change history).
+type FeatureSelector = featsel.Selector
+
+// LearnFeatureWeights learns per-dimension relevance weights from a
+// labeled history: changeTimes are the inspection times labeled as
+// changes; tau and tauPrime must match the detector the labels came
+// from. Wrap the learned selector around any builder with
+// (*FeatureSelector).Builder to apply it inside a detector Config.
+func LearnFeatureWeights(seq Sequence, changeTimes []int, tau, tauPrime int) (*FeatureSelector, error) {
+	return featsel.Learn(seq, changeTimes, featsel.Config{Tau: tau, TauPrime: tauPrime})
+}
+
+// Whiten replaces each 1-D bag (interpreted as an ordered sample run)
+// with its AR(order) innovation bag — the paper's second future-work
+// direction, for bags whose elements are serially correlated. Two
+// regimes with identical marginals but different dynamics become
+// distinguishable after whitening.
+func Whiten(seq Sequence, order int) (Sequence, error) {
+	return innovate.Whiten(seq, order)
+}
