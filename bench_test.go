@@ -10,6 +10,7 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bag"
@@ -129,6 +130,29 @@ func BenchmarkEMDSimplexK16(b *testing.B) { benchmarkEMD(b, 16, 2) }
 func BenchmarkEMDSimplexK32(b *testing.B) { benchmarkEMD(b, 32, 2) }
 func BenchmarkEMDSimplexK64(b *testing.B) { benchmarkEMD(b, 64, 2) }
 
+// benchmarkEMDSolver measures the explicitly-held warm Solver (the
+// detector's steady-state path), bypassing even the sync.Pool rental of
+// the package-level Distance.
+func benchmarkEMDSolver(b *testing.B, k, d int) {
+	rng := randx.New(1)
+	s := randomSignature(rng, k, d)
+	t := randomSignature(rng, k, d)
+	sv := emd.NewSolver()
+	if _, err := sv.Distance(s, t, emd.Euclidean); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Distance(s, t, emd.Euclidean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEMDSolverWarmK16(b *testing.B) { benchmarkEMDSolver(b, 16, 2) }
+func BenchmarkEMDSolverWarmK32(b *testing.B) { benchmarkEMDSolver(b, 32, 2) }
+func BenchmarkEMDSolverWarmK64(b *testing.B) { benchmarkEMDSolver(b, 64, 2) }
+
 func BenchmarkEMD1DFastPath(b *testing.B) {
 	rng := randx.New(2)
 	s := randomSignature(rng, 32, 1)
@@ -209,6 +233,33 @@ func BenchmarkBootstrapCI(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bootstrap.ConfidenceInterval(score, base, base, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBootstrapCIParallel is the same interval with the replicate
+// shards spread over all cores (the detector's default regime).
+func BenchmarkBootstrapCIParallel(b *testing.B) {
+	rng := randx.New(5)
+	n := 10
+	logD := make([][]float64, n)
+	for i := range logD {
+		logD[i] = make([]float64, n)
+		for j := range logD[i] {
+			if i != j {
+				logD[i][j] = rng.Normal(0, 1)
+			}
+		}
+	}
+	win := infoest.Window{LogD: logD, NRef: 5, NTest: 5}
+	score := func(gRef, gTest []float64) float64 { return infoest.ScoreKL(win, gRef, gTest) }
+	base := infoest.UniformWeights(5)
+	cfg := bootstrap.Config{Replicates: 1000, Workers: runtime.GOMAXPROCS(0)}
+	est := bootstrap.NewSeededEstimator(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Interval(score, base, base, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,245 @@
+package bootstrap
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/testutil"
+)
+
+// kl-ish pure score used by the parallel tests: must be safe for
+// concurrent calls.
+func pureScore(gRef, gTest []float64) float64 {
+	s := 0.0
+	for i, g := range gRef {
+		s += g * float64(i+1)
+	}
+	for i, g := range gTest {
+		s -= g * g * float64(i+1)
+	}
+	return s
+}
+
+// TestIntervalBitIdenticalAcrossWorkers is the reproducibility contract
+// of the sharded bootstrap: for a fixed RNG state the interval must be
+// bit-identical no matter how many workers evaluate the shards.
+func TestIntervalBitIdenticalAcrossWorkers(t *testing.T) {
+	base := []float64{0.25, 0.25, 0.25, 0.25}
+	for _, T := range []int{1, 63, 64, 65, 1000} {
+		var want Interval
+		for wi, workers := range []int{1, 2, 4, 16} {
+			e := NewEstimator()
+			iv, err := e.Interval(pureScore, base, base,
+				Config{Replicates: T, Workers: workers}, randx.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wi == 0 {
+				want = iv
+			} else if iv != want {
+				t.Fatalf("T=%d workers=%d: %+v != %+v", T, workers, iv, want)
+			}
+		}
+	}
+}
+
+// TestSeededEstimatorDeterministicSequence: a persistent-stream estimator
+// reproduces the same interval SEQUENCE for the same seed, and the
+// sequence is worker-count invariant.
+func TestSeededEstimatorDeterministicSequence(t *testing.T) {
+	base := []float64{0.5, 0.3, 0.2}
+	cfgSeq := Config{Replicates: 300, Workers: 1}
+	cfgPar := Config{Replicates: 300, Workers: 8}
+	a := NewSeededEstimator(7)
+	b := NewSeededEstimator(7)
+	other := NewSeededEstimator(8)
+	sawDifferent := false
+	for step := 0; step < 5; step++ {
+		ivA, err := a.Interval(pureScore, base, base, cfgSeq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivB, err := b.Interval(pureScore, base, base, cfgPar, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivA != ivB {
+			t.Fatalf("step %d: sequential %+v != parallel %+v", step, ivA, ivB)
+		}
+		ivO, err := other.Interval(pureScore, base, base, cfgSeq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivO.Lo != ivA.Lo || ivO.Up != ivA.Up {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Error("different seeds produced identical interval sequences")
+	}
+}
+
+// TestQuantileSelectMatchesSort: the quickselect quantile must agree
+// exactly with sort-then-interpolate on random inputs.
+func TestQuantileSelectMatchesSort(t *testing.T) {
+	rng := randx.New(31)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if trial%4 == 0 {
+			// Heavy duplicates stress the Hoare partition.
+			for i := range xs {
+				xs[i] = math.Floor(xs[i] * 2)
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, p := range []float64{0, 0.01, 0.025, 0.31, 0.5, 0.975, 0.99, 1} {
+			want := Quantile(sorted, p)
+			got := quantileSelect(append([]float64(nil), xs...), p)
+			if got != want && math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d n=%d p=%g: quantileSelect %.17g, Quantile %.17g", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestNaNScoresDoNotPanic: a degenerate statistic returning NaN must
+// degrade gracefully (as the sort-based quantiles always did), never
+// panic inside the quickselect.
+func TestNaNScoresDoNotPanic(t *testing.T) {
+	base := []float64{0.5, 0.5}
+	nanScore := func(gRef, _ []float64) float64 {
+		if gRef[0] > 0.5 {
+			return math.NaN()
+		}
+		return gRef[0]
+	}
+	iv, err := ConfidenceInterval(nanScore, base, base, Config{Replicates: 200}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With NaNs in the replicate set the interval is NaN-degraded; the
+	// contract here is only "no panic, Lo <= Up or NaN".
+	if !math.IsNaN(iv.Lo) && !math.IsNaN(iv.Up) && iv.Lo > iv.Up {
+		t.Errorf("Lo %g > Up %g", iv.Lo, iv.Up)
+	}
+	// All-NaN scores must also survive.
+	allNaN := func(_, _ []float64) float64 { return math.NaN() }
+	if _, err := ConfidenceInterval(allNaN, base, base, Config{Replicates: 50}, randx.New(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmEstimatorZeroAllocs is the allocation-regression guard for the
+// bootstrap stage: a warm sequential Estimator computes a full interval
+// without heap allocations.
+func TestWarmEstimatorZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	base := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	cfg := Config{Replicates: 500, Workers: 1}
+	e := NewSeededEstimator(3)
+	if _, err := e.Interval(pureScore, base, base, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Interval(pureScore, base, base, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Estimator.Interval: %g allocs/op, want 0", allocs)
+	}
+}
+
+// TestParallelEstimatorBoundedAllocs: the parallel path may pay a few
+// goroutine-spawn allocations but must stay far away from per-replicate
+// allocation.
+func TestParallelEstimatorBoundedAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	base := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	cfg := Config{Replicates: 1000, Workers: 4}
+	e := NewSeededEstimator(3)
+	if _, err := e.Interval(pureScore, base, base, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Interval(pureScore, base, base, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("parallel Estimator.Interval: %g allocs/op, want <= 16 (goroutine spawns only)", allocs)
+	}
+}
+
+// TestUniformBaseTakesExpPath: with uniform base weights the scaled
+// Dirichlet parameters must snap to exactly 1 (Dir(1,…,1) is the plain
+// Bayesian bootstrap), enabling the exponential fast path.
+func TestUniformBaseTakesExpPath(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7, 10, 33} {
+		theta := make([]float64, n)
+		for i := range theta {
+			theta[i] = 1 / float64(n)
+		}
+		alpha := scaledInto(nil, theta)
+		for i, a := range alpha {
+			if a != 1 {
+				t.Fatalf("n=%d: alpha[%d] = %.17g, want exactly 1", n, i, a)
+			}
+		}
+	}
+	// Non-uniform weights must NOT snap.
+	alpha := scaledInto(nil, []float64{0.7, 0.3})
+	if alpha[0] == 1 || alpha[1] == 1 {
+		t.Fatalf("non-uniform weights snapped to 1: %v", alpha)
+	}
+}
+
+// TestConfidenceIntervalStatisticalSanityParallel repeats the weighted
+// mean check through the parallel path: posterior mean and width must
+// match Rubin's theory regardless of sharding.
+func TestConfidenceIntervalStatisticalSanityParallel(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	n := len(values)
+	score := func(gRef, _ []float64) float64 {
+		s := 0.0
+		for i, g := range gRef {
+			s += g * values[i]
+		}
+		return s
+	}
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = 1 / float64(n)
+	}
+	iv, err := ConfidenceInterval(score, base, []float64{1},
+		Config{Replicates: 4000, Workers: 4}, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 5.5
+	if math.Abs(iv.Point-mean) > 1e-9 {
+		t.Errorf("Point = %g, want %g", iv.Point, mean)
+	}
+	if !(iv.Lo < mean && mean < iv.Up) {
+		t.Errorf("interval [%g, %g] does not bracket %g", iv.Lo, iv.Up, mean)
+	}
+	sd := 0.0
+	for _, v := range values {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(n) / float64(n+1))
+	wantWidth := 2 * 1.96 * sd
+	if math.Abs(iv.Width()-wantWidth) > 0.35*wantWidth {
+		t.Errorf("width = %g, want ≈ %g", iv.Width(), wantWidth)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/bootstrap"
+	"repro/internal/randx"
+	"repro/internal/signature"
+	"repro/internal/testutil"
+)
+
+func warmDetector(t testing.TB, workers int) (*Detector, []bag.Bag) {
+	t.Helper()
+	rng := randx.New(6)
+	d, err := New(Config{
+		Tau: 5, TauPrime: 5,
+		Builder:   signature.NewHistogramBuilder(-5, 5, 40),
+		Bootstrap: bootstrap.Config{Replicates: 1000, Workers: workers},
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bags := make([]bag.Bag, 24)
+	for ts := range bags {
+		vals := make([]float64, 300)
+		for i := range vals {
+			vals[i] = rng.Normal(0, 1)
+		}
+		bags[ts] = bag.FromScalars(ts, vals)
+	}
+	for ts := 0; ts < len(bags); ts++ {
+		if _, err := d.Push(bags[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, bags
+}
+
+// TestDetectorBootstrapStageZeroAllocs is the allocation-regression guard
+// for Detector.Push's score/bootstrap stage: once the window is warm, the
+// interval computation (window rebind, T=1000 Dirichlet replicates, score
+// evaluations, quantiles) must not allocate at all.
+func TestDetectorBootstrapStageZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	d, _ := warmDetector(t, 1)
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.interval(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm detector score/bootstrap stage: %g allocs/op, want 0", allocs)
+	}
+}
+
+// TestDetectorPushSteadyStateAllocs bounds the whole Push: the signature
+// build inherently allocates (it returns a fresh signature), but the
+// window slide, EMD row, and bootstrap stage must not add per-push
+// garbage beyond it.
+func TestDetectorPushSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	d, bags := warmDetector(t, 1)
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.Push(bags[i%len(bags)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// Builder output (centers slice + rows + weights + normalized copy) is
+	// ~46 allocations for a 40-bin histogram; anything near the old
+	// per-push cost (hundreds: fresh simplex scratch per EMD plus
+	// bootstrap buffers) must fail.
+	if allocs > 60 {
+		t.Errorf("steady-state Push: %g allocs/op, want <= 60 (signature build only)", allocs)
+	}
+}
+
+// TestDetectorOutputInvariantToBootstrapWorkers: the sharded bootstrap
+// must make detector output identical whatever Config.Bootstrap.Workers
+// is — parallelism is a pure throughput knob.
+func TestDetectorOutputInvariantToBootstrapWorkers(t *testing.T) {
+	run := func(workers int) []Point {
+		rng := randx.New(11)
+		cfg := Config{
+			Tau: 4, TauPrime: 4,
+			Builder:   signature.NewHistogramBuilder(-6, 6, 24),
+			Bootstrap: bootstrap.Config{Replicates: 400, Workers: workers},
+			Seed:      9,
+		}
+		seq := make(bag.Sequence, 20)
+		for ts := range seq {
+			mu := 0.0
+			if ts >= 10 {
+				mu = 3
+			}
+			vals := make([]float64, 80)
+			for i := range vals {
+				vals[i] = rng.Normal(mu, 1)
+			}
+			seq[ts] = bag.FromScalars(ts, vals)
+		}
+		pts, err := Run(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !pointsEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: point %d %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

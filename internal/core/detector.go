@@ -24,7 +24,6 @@ import (
 	"repro/internal/bootstrap"
 	"repro/internal/emd"
 	"repro/internal/infoest"
-	"repro/internal/randx"
 	"repro/internal/signature"
 )
 
@@ -82,8 +81,13 @@ type Config struct {
 	// Ground is the EMD ground distance; nil selects Euclidean with the
 	// exact 1-D fast path.
 	Ground emd.Ground
-	// Bootstrap configures the confidence intervals (T replicates and
-	// significance level α).
+	// Bootstrap configures the confidence intervals (T replicates,
+	// significance level α, and worker parallelism). A zero Workers field
+	// is promoted to GOMAXPROCS: the detector's score functions are pure,
+	// so its bootstrap replicates always parallelize safely, and the
+	// sharded RNG streams make the result identical for a fixed Seed
+	// regardless of the worker count. Set Workers to 1 to force
+	// single-threaded evaluation.
 	Bootstrap bootstrap.Config
 	// LogFloor clamps distances before taking logs; 0 selects
 	// infoest.DefaultFloor.
@@ -140,10 +144,15 @@ type Detector struct {
 	gRef    []float64 // base weights θ for the reference window
 	gTest   []float64 // base weights θ for the test window
 	window  []signature.Signature
-	logD    [][]float64 // rolling (τ+τ′)² log-EMD matrix, time order
-	rng     *randx.RNG
+	logD    [][]float64                // rolling (τ+τ′)² log-EMD matrix, time order
 	count   int                        // bags pushed so far
 	history map[int]bootstrap.Interval // interval per inspection time
+
+	solver  *emd.Solver          // reusable EMD workspace (zero-alloc warm path)
+	est     *bootstrap.Estimator // reusable bootstrap workspace
+	win     infoest.Window       // current inspection window, rebuilt per inspect
+	scoreFn bootstrap.ScoreFunc  // closure over win, built once
+	spare   []float64            // recycled log-distance row from the last slide
 }
 
 // New validates cfg and returns a ready Detector.
@@ -151,10 +160,24 @@ func New(cfg Config) (*Detector, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Bootstrap.Workers == 0 {
+		cfg.Bootstrap.Workers = runtime.GOMAXPROCS(0)
+	}
 	d := &Detector{
 		cfg:     cfg,
-		rng:     randx.New(cfg.Seed),
 		history: make(map[int]bootstrap.Interval),
+		solver:  emd.NewSolver(),
+		// Persistent shard streams seeded from Config.Seed: the detector
+		// pays no per-push reseeding cost and its output is a deterministic
+		// function of Seed and the pushed sequence, independent of the
+		// bootstrap worker count.
+		est: bootstrap.NewSeededEstimator(cfg.Seed),
+	}
+	d.scoreFn = func(gRef, gTest []float64) float64 {
+		if d.cfg.Score == ScoreLR {
+			return infoest.ScoreLR(d.win, gRef, gTest)
+		}
+		return infoest.ScoreKL(d.win, gRef, gTest)
 	}
 	switch cfg.Weighting {
 	case WeightDiscounted:
@@ -189,9 +212,12 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 	w := d.WindowSize()
 	if len(d.window) == w {
 		// Slide: drop the oldest signature and shift the distance matrix
-		// up-left by one.
+		// up-left by one. The evicted row's backing array is recycled for
+		// the incoming row, so a warm detector allocates nothing here.
 		copy(d.window, d.window[1:])
+		d.window[w-1] = signature.Signature{} // release the evicted signature
 		d.window = d.window[:w-1]
+		d.spare = d.logD[w-1][:0]
 		for i := 0; i < w-1; i++ {
 			copy(d.logD[i], d.logD[i+1][1:w])
 			d.logD[i] = d.logD[i][:w-1]
@@ -199,9 +225,15 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 		d.logD = d.logD[:w-1]
 	}
 	// Append the new signature and its distances to the retained ones.
-	row := make([]float64, len(d.window)+1)
+	row := d.spare
+	d.spare = nil
+	if cap(row) < len(d.window)+1 {
+		row = make([]float64, 0, w)
+	}
+	row = row[:len(d.window)+1]
+	row[len(row)-1] = 0 // self-distance slot; the diagonal is ignored
 	for i, s := range d.window {
-		dist, err := emd.Distance(s, sig, d.cfg.Ground)
+		dist, err := d.solver.Distance(s, sig, d.cfg.Ground)
 		if err != nil {
 			return nil, fmt.Errorf("core: EMD between bags %d and %d: %w", d.count-len(d.window)+i, d.count, err)
 		}
@@ -219,21 +251,24 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 	return d.inspect()
 }
 
+// interval runs the score/bootstrap stage over the current full window:
+// it rebinds the window view and computes the Bayesian-bootstrap interval
+// on the detector's persistent estimator. Zero allocations once warm.
+func (d *Detector) interval() (bootstrap.Interval, error) {
+	d.win = infoest.Window{LogD: d.logD, NRef: d.cfg.Tau, NTest: d.cfg.TauPrime}
+	if err := d.win.Validate(); err != nil {
+		return bootstrap.Interval{}, err
+	}
+	// The estimator is in persistent-stream mode (seeded from cfg.Seed at
+	// construction), so no caller RNG is involved.
+	return d.est.Interval(d.scoreFn, d.gRef, d.gTest, d.cfg.Bootstrap, nil)
+}
+
 // inspect scores the current full window. The inspection time is
 // t = count − τ′ (the first bag of the test half).
 func (d *Detector) inspect() (*Point, error) {
 	t := d.count - d.cfg.TauPrime
-	win := infoest.Window{LogD: d.logD, NRef: d.cfg.Tau, NTest: d.cfg.TauPrime}
-	if err := win.Validate(); err != nil {
-		return nil, err
-	}
-	score := func(gRef, gTest []float64) float64 {
-		if d.cfg.Score == ScoreLR {
-			return infoest.ScoreLR(win, gRef, gTest)
-		}
-		return infoest.ScoreKL(win, gRef, gTest)
-	}
-	iv, err := bootstrap.ConfidenceInterval(score, d.gRef, d.gTest, d.cfg.Bootstrap, d.rng)
+	iv, err := d.interval()
 	if err != nil {
 		return nil, err
 	}
@@ -330,8 +365,11 @@ func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a Solver: all simplex scratch is allocated
+			// once per worker instead of once per distance.
+			sv := emd.NewSolver()
 			for p := range jobs {
-				dist, err := emd.Distance(sigs[p.i], sigs[p.j], ground)
+				dist, err := sv.Distance(sigs[p.i], sigs[p.j], ground)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("core: EMD(%d,%d): %w", p.i, p.j, err)

@@ -6,6 +6,12 @@
 // total). A closed-form fast path handles 1-D signatures with equal
 // totals, where EMD coincides with the Wasserstein-1 distance between the
 // two step CDFs.
+//
+// The hot path lives in Solver, a reusable workspace that computes
+// distances with zero steady-state allocations. The package-level
+// Distance/DistanceFlow functions rent Solvers from an internal pool and
+// are safe for concurrent use; loops that compute many distances from one
+// goroutine should hold their own Solver instead.
 package emd
 
 import (
@@ -48,29 +54,15 @@ type Result struct {
 }
 
 // Distance returns EMD(s, t) under the ground distance g. A nil g selects
-// Euclidean ground distance and enables the exact 1-D fast path when both
-// signatures are one-dimensional with equal total weight.
+// the Euclidean ground distance. When the ground is Euclidean — whether
+// selected implicitly by nil or passed explicitly as emd.Euclidean — and
+// both signatures are one-dimensional with equal total weight, the exact
+// 1-D closed form is used instead of the simplex; any other ground always
+// goes through the simplex, even in 1-D.
 func Distance(s, t signature.Signature, g Ground) (float64, error) {
-	if err := s.Validate(); err != nil {
-		return 0, fmt.Errorf("emd: source %w", err)
-	}
-	if err := t.Validate(); err != nil {
-		return 0, fmt.Errorf("emd: sink %w", err)
-	}
-	if s.Dim() != t.Dim() {
-		return 0, fmt.Errorf("emd: dimension mismatch %d vs %d", s.Dim(), t.Dim())
-	}
-	if g == nil {
-		if s.Dim() == 1 && balanced(s, t) {
-			return distance1D(s, t), nil
-		}
-		g = Euclidean
-	}
-	res, err := DistanceFlow(s, t, g)
-	if err != nil {
-		return 0, err
-	}
-	return res.EMD, nil
+	sv := solverPool.Get().(*Solver)
+	defer solverPool.Put(sv)
+	return sv.Distance(s, t, g)
 }
 
 // Distance1D returns the closed-form EMD for two 1-D signatures with
@@ -90,7 +82,9 @@ func Distance1D(s, t signature.Signature) (float64, error) {
 	if !balanced(s, t) {
 		return 0, fmt.Errorf("emd: Distance1D needs equal totals, got %g and %g", s.TotalWeight(), t.TotalWeight())
 	}
-	return distance1D(s, t), nil
+	sv := solverPool.Get().(*Solver)
+	defer solverPool.Put(sv)
+	return sv.distance1D(s, t), nil
 }
 
 func balanced(s, t signature.Signature) bool {
@@ -98,35 +92,9 @@ func balanced(s, t signature.Signature) bool {
 	return math.Abs(ws-wt) <= 1e-9*math.Max(ws, wt)
 }
 
-// distance1D merges the two weighted point sets along the line and
-// integrates |CDF difference|. Weights are normalized by the (common)
-// total so the result equals cost/amount like the simplex path.
-func distance1D(s, t signature.Signature) float64 {
-	// ev1d.w > 0 contributes to s's CDF, w < 0 to t's.
-	events := make([]ev1d, 0, s.Len()+t.Len())
-	totS, totT := s.TotalWeight(), t.TotalWeight()
-	for i, c := range s.Centers {
-		events = append(events, ev1d{c[0], s.Weights[i] / totS})
-	}
-	for i, c := range t.Centers {
-		events = append(events, ev1d{c[0], -t.Weights[i] / totT})
-	}
-	// Insertion-free sort by x.
-	sortEvents(events)
-	emd := 0.0
-	cdfDiff := 0.0
-	for i := 0; i < len(events)-1; i++ {
-		cdfDiff += events[i].w
-		gap := events[i+1].x - events[i].x
-		emd += math.Abs(cdfDiff) * gap
-	}
-	return emd
-}
-
 func sortEvents(events []ev1d) {
-	// Simple binary-insertion-backed sort: events lists are small
-	// (signature sizes), and sort.Slice would allocate a closure per
-	// call in this hot path. Shell sort keeps it allocation-free.
+	// Shell sort: events lists are small (signature sizes), and sort.Slice
+	// would allocate a closure per call in this hot path.
 	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
 	n := len(events)
 	for _, gap := range gaps {
@@ -149,93 +117,7 @@ type ev1d = struct {
 // under ground distance g (nil means Euclidean) and returns the full
 // Result. Zero-weight signature entries are dropped before solving.
 func DistanceFlow(s, t signature.Signature, g Ground) (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("emd: source %w", err)
-	}
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("emd: sink %w", err)
-	}
-	if s.Dim() != t.Dim() {
-		return nil, fmt.Errorf("emd: dimension mismatch %d vs %d", s.Dim(), t.Dim())
-	}
-	if g == nil {
-		g = Euclidean
-	}
-	sc, sw := dropZeros(s)
-	tc, tw := dropZeros(t)
-	m, n := len(sw), len(tw)
-
-	// Ground cost matrix.
-	cost := make([][]float64, m)
-	for i := range cost {
-		cost[i] = make([]float64, n)
-		for j := range cost[i] {
-			d := g(sc[i], tc[j])
-			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-				return nil, fmt.Errorf("emd: ground distance returned %g", d)
-			}
-			cost[i][j] = d
-		}
-	}
-
-	totS, totT := vec.Sum(sw), vec.Sum(tw)
-	amount := math.Min(totS, totT)
-
-	// Balance by adding a zero-cost dummy node on the deficient side
-	// (Eq. 9-11 allow the larger signature to keep surplus mass unmoved).
-	supply := vec.Clone(sw)
-	demand := vec.Clone(tw)
-	diff := totS - totT
-	const relTol = 1e-12
-	if diff > relTol*math.Max(totS, totT) {
-		// Surplus supply: dummy demand column.
-		demand = append(demand, diff)
-		for i := range cost {
-			cost[i] = append(cost[i], 0)
-		}
-		n++
-	} else if -diff > relTol*math.Max(totS, totT) {
-		// Surplus demand: dummy supply row.
-		supply = append(supply, -diff)
-		row := make([]float64, n)
-		cost = append(cost, row)
-		m++
-	} else if diff != 0 {
-		// Negligible imbalance from rounding: absorb into the last entry.
-		if diff > 0 {
-			demand[n-1] += diff
-		} else {
-			supply[m-1] -= diff
-		}
-	}
-
-	flow, totalCost, err := solveTransport(supply, demand, cost)
-	if err != nil {
-		return nil, err
-	}
-
-	// Strip dummy row/column from the reported flow and recompute the
-	// cost over real cells only (the dummy contributes zero cost anyway,
-	// but the flow matrix should match the filtered signatures).
-	realM, realN := len(sw), len(tw)
-	outFlow := make([][]float64, realM)
-	for i := range outFlow {
-		outFlow[i] = flow[i][:realN:realN]
-	}
-	res := &Result{Cost: totalCost, Amount: amount, Flow: outFlow}
-	if amount > 0 {
-		res.EMD = totalCost / amount
-	}
-	return res, nil
-}
-
-func dropZeros(s signature.Signature) (centers [][]float64, weights []float64) {
-	for i, w := range s.Weights {
-		if w <= 0 {
-			continue
-		}
-		centers = append(centers, s.Centers[i])
-		weights = append(weights, w)
-	}
-	return centers, weights
+	sv := solverPool.Get().(*Solver)
+	defer solverPool.Put(sv)
+	return sv.DistanceFlow(s, t, g)
 }

@@ -5,61 +5,68 @@ import (
 	"math"
 )
 
-// solveTransport solves the balanced transportation problem
+// solve runs the transportation simplex on the problem staged in the
+// Solver's buffers (supply, demand, cost, m, n): a northwest-corner
+// initial basis followed by MODI (u-v) pivoting. Charnes' epsilon
+// perturbation is applied to the supplies to prevent degenerate cycling;
+// the perturbation is O(1e-10) of the total mass and its effect on the
+// objective is far below the tolerances used by callers.
 //
-//	min Σ f_ij c_ij   s.t.  Σ_j f_ij = supply_i, Σ_i f_ij = demand_j, f >= 0
+// The entering cell is chosen with candidate-list (block) pricing: instead
+// of scanning all m·n reduced costs on every pivot, a short list of
+// negative-reduced-cost cells is harvested from a rolling block scan and
+// pivots consume it until it runs dry, falling back to a full wrap-around
+// scan before declaring optimality.
 //
-// with the transportation simplex: a northwest-corner initial basis
-// followed by MODI (u-v) pivoting. Charnes' epsilon perturbation is
-// applied to the supplies to prevent degenerate cycling; the perturbation
-// is O(1e-10) of the total mass and its effect on the objective is far
-// below the tolerances used by callers.
-//
-// Σ supply must equal Σ demand (the caller balances with a dummy node).
-func solveTransport(supply, demand []float64, cost [][]float64) (flow [][]float64, totalCost float64, err error) {
-	m, n := len(supply), len(demand)
+// Σ supply must equal Σ demand (prepare balances with a dummy node).
+// On success the optimal basis is left in basisI/basisJ/basisF and the
+// objective Σ f·c over non-residue flows is returned.
+func (sv *Solver) solve() (totalCost float64, err error) {
+	m, n := sv.m, sv.n
 	if m == 0 || n == 0 {
-		return nil, 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m, n)
+		return 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m, n)
 	}
 	totS, totD := 0.0, 0.0
-	for _, v := range supply {
+	for _, v := range sv.supply {
 		totS += v
 	}
-	for _, v := range demand {
+	for _, v := range sv.demand {
 		totD += v
 	}
 	if math.Abs(totS-totD) > 1e-9*math.Max(totS, totD)+1e-300 {
-		return nil, 0, fmt.Errorf("emd: unbalanced problem: supply %g vs demand %g", totS, totD)
+		return 0, fmt.Errorf("emd: unbalanced problem: supply %g vs demand %g", totS, totD)
 	}
 
-	// Charnes perturbation: supply_i += eps, demand_last += m*eps.
+	// Charnes perturbation: supply_i += eps, demand_last += m*eps. The
+	// supply/demand buffers are staged per call, so perturb in place.
 	eps := totS * 1e-11
 	if eps == 0 {
 		eps = 1e-11
 	}
-	a := make([]float64, m)
-	b := make([]float64, n)
-	for i := range a {
-		a[i] = supply[i] + eps
+	for i := range sv.supply {
+		sv.supply[i] += eps
 	}
-	copy(b, demand)
-	b[n-1] += float64(m) * eps
+	sv.demand[n-1] += float64(m) * eps
 
 	// --- Northwest corner initial basis: exactly m+n-1 basic cells. ---
-	type basicCell struct {
-		i, j int
-		f    float64
-	}
-	basis := make([]basicCell, 0, m+n-1)
-	ra, rb := make([]float64, m), make([]float64, n)
-	copy(ra, a)
-	copy(rb, b)
+	nb := m + n - 1
+	sv.basisI = growInts(sv.basisI, nb)
+	sv.basisJ = growInts(sv.basisJ, nb)
+	sv.basisF = growFloats(sv.basisF, nb)
+	// Consume the (perturbed) supply/demand residuals destructively; they
+	// are not needed after the initial basis is placed.
+	ra, rb := sv.supply, sv.demand
+	k := 0
 	for i, j := 0, 0; ; {
 		f := math.Min(ra[i], rb[j])
 		if f < 0 {
 			f = 0 // guard against rounding residue
 		}
-		basis = append(basis, basicCell{i, j, f})
+		if k >= nb {
+			return 0, fmt.Errorf("emd: internal: NW corner produced more than %d basic cells", nb)
+		}
+		sv.basisI[k], sv.basisJ[k], sv.basisF[k] = i, j, f
+		k++
 		ra[i] -= f
 		rb[j] -= f
 		if i == m-1 && j == n-1 {
@@ -79,207 +86,433 @@ func solveTransport(supply, demand []float64, cost [][]float64) (flow [][]float6
 			j++
 		}
 	}
-	if len(basis) != m+n-1 {
-		return nil, 0, fmt.Errorf("emd: internal: NW corner produced %d basic cells, want %d", len(basis), m+n-1)
+	if k != nb {
+		return 0, fmt.Errorf("emd: internal: NW corner produced %d basic cells, want %d", k, nb)
 	}
 
-	// Scratch used across iterations.
-	u := make([]float64, m)
-	v := make([]float64, n)
-	uSet := make([]bool, m)
-	vSet := make([]bool, n)
-	rowAdj := make([][]int, m) // basis indices in each row
-	colAdj := make([][]int, n)
+	// Grow the per-node and per-basis scratch.
+	sv.u = growFloats(sv.u, m)
+	sv.v = growFloats(sv.v, n)
+	sv.uSet = growBools(sv.uSet, m)
+	sv.vSet = growBools(sv.vSet, n)
+	sv.rowHead = growInts(sv.rowHead, m)
+	sv.colHead = growInts(sv.colHead, n)
+	sv.rowNext = growInts(sv.rowNext, nb)
+	sv.colNext = growInts(sv.colNext, nb)
+	sv.parent = growInts(sv.parent, m+n)
+	sv.visited = growBools(sv.visited, m+n)
+	if cap(sv.queue) < m+n {
+		sv.queue = make([]int, 0, m+n)
+	}
+	sv.cand = growInts(sv.cand, m)
+	for i := range sv.cand {
+		sv.cand[i] = -1
+	}
+
+	// Build the basis-tree adjacency (intrusive linked lists) once; pivots
+	// patch it incrementally.
+	for i := 0; i < m; i++ {
+		sv.rowHead[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		sv.colHead[j] = -1
+	}
+	for bi := 0; bi < nb; bi++ {
+		i, j := sv.basisI[bi], sv.basisJ[bi]
+		sv.rowNext[bi] = sv.rowHead[i]
+		sv.rowHead[i] = bi
+		sv.colNext[bi] = sv.colHead[j]
+		sv.colHead[j] = bi
+	}
+	// MODI potentials: solve u_i + v_j = c_ij over the tree. Computed in
+	// full once; each pivot then shifts only the subtree cut off by the
+	// leaving arc, with a periodic full refresh to keep rounding drift in
+	// check.
+	if err := sv.potentials(); err != nil {
+		return 0, err
+	}
+
+	tol := 1e-10 * (1 + sv.maxCost)
+	maxIters := 200 + 20*m*n
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return 0, fmt.Errorf("emd: simplex did not converge in %d iterations (%dx%d)", maxIters, m, n)
+		}
+		if iter%128 == 127 {
+			if err := sv.potentials(); err != nil {
+				return 0, err
+			}
+		}
+
+		// --- Entering cell via candidate-list pricing. ---
+		enterI, enterJ, r, ok := sv.priceEnter(tol)
+		if !ok {
+			break // optimal
+		}
+
+		// --- Pivot: find the cycle through (enterI, enterJ), shift θ. ---
+		if err := sv.pivot(enterI, enterJ, r); err != nil {
+			return 0, err
+		}
+	}
+
+	// Objective over the optimal basis; clamp perturbation-sized flows.
+	clamp := eps * float64(m+n) * 4
+	sv.eps = eps
+	for bi := 0; bi < nb; bi++ {
+		f := sv.basisF[bi]
+		if f <= clamp {
+			continue
+		}
+		totalCost += f * sv.cost[sv.basisI[bi]*n+sv.basisJ[bi]]
+	}
+	return totalCost, nil
+}
+
+// potentials solves u_i + v_j = c_ij over the basis tree with a BFS from
+// row 0 (u_0 = 0).
+func (sv *Solver) potentials() error {
+	m, n := sv.m, sv.n
+	for i := 0; i < m; i++ {
+		sv.uSet[i] = false
+	}
+	for j := 0; j < n; j++ {
+		sv.vSet[j] = false
+	}
+	sv.u[0], sv.uSet[0] = 0, true
+	// Queue encodes rows as i, columns as m+j.
+	queue := sv.queue[:0]
+	queue = append(queue, 0)
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if node < m {
+			i := node
+			ui := sv.u[i]
+			for bi := sv.rowHead[i]; bi != -1; bi = sv.rowNext[bi] {
+				j := sv.basisJ[bi]
+				if !sv.vSet[j] {
+					sv.v[j] = sv.cost[i*n+j] - ui
+					sv.vSet[j] = true
+					queue = append(queue, m+j)
+				}
+			}
+		} else {
+			j := node - m
+			vj := sv.v[j]
+			for bi := sv.colHead[j]; bi != -1; bi = sv.colNext[bi] {
+				i := sv.basisI[bi]
+				if !sv.uSet[i] {
+					sv.u[i] = sv.cost[i*n+j] - vj
+					sv.uSet[i] = true
+					queue = append(queue, i)
+				}
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if !sv.uSet[i] {
+			return fmt.Errorf("emd: internal: basis tree disconnected at row %d", i)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if !sv.vSet[j] {
+			return fmt.Errorf("emd: internal: basis tree disconnected at column %d", j)
+		}
+	}
+	return nil
+}
+
+// priceEnter picks the entering cell with per-row candidate pricing.
+// cand[i] caches the column of the most negative cell seen in row i at
+// the last refill. A drain re-prices the m cached cells against the
+// current potentials and takes the most negative survivor — O(m) per
+// pivot. When every cached cell has gone non-negative, one full O(m·n)
+// refill scan rebuilds the row bests; if even a fresh scan finds nothing
+// below −tol the basis is optimal (ok=false). The reduced cost r of the
+// chosen cell is returned for the incremental potential update.
+func (sv *Solver) priceEnter(tol float64) (enterI, enterJ int, r float64, ok bool) {
+	m, n := sv.m, sv.n
+	// Drain: re-price the cached per-row candidates.
+	bestI := -1
+	worst := -tol
+	for i := 0; i < m; i++ {
+		j := sv.cand[i]
+		if j < 0 {
+			continue
+		}
+		if rc := sv.cost[i*n+j] - sv.u[i] - sv.v[j]; rc < worst {
+			worst = rc
+			bestI = i
+		}
+	}
+	if bestI >= 0 {
+		return bestI, sv.cand[bestI], worst, true
+	}
+
+	// Refill: rebuild every row's best candidate in one full scan.
+	for i := 0; i < m; i++ {
+		ui := sv.u[i]
+		row := sv.cost[i*n : (i+1)*n]
+		bestJ := -1
+		rowWorst := -tol
+		for j := 0; j < n; j++ {
+			if rc := row[j] - ui - sv.v[j]; rc < rowWorst {
+				rowWorst = rc
+				bestJ = j
+			}
+		}
+		sv.cand[i] = bestJ
+		if rowWorst < worst {
+			worst = rowWorst
+			bestI = i
+		}
+	}
+	if bestI < 0 {
+		return 0, 0, 0, false
+	}
+	return bestI, sv.cand[bestI], worst, true
+}
+
+// pivot finds the unique cycle formed by adding (enterI, enterJ) to the
+// basis tree, shifts θ (the minimum flow on the leaving arcs) around it,
+// swaps the entering cell for the leaving one, patches the adjacency
+// lists, and updates the MODI potentials incrementally: only the subtree
+// separated from the root by the entering arc shifts, all by the entering
+// cell's reduced cost r.
+func (sv *Solver) pivot(enterI, enterJ int, r float64) error {
+	m := sv.m
+	for x := range sv.visited[:m+sv.n] {
+		sv.visited[x] = false
+	}
+	sv.parent[enterI] = -1
+	sv.visited[enterI] = true
+	queue := sv.queue[:0]
+	queue = append(queue, enterI)
+	found := false
+	for len(queue) > 0 && !found {
+		node := queue[0]
+		queue = queue[1:]
+		if node < m {
+			i := node
+			for bi := sv.rowHead[i]; bi != -1; bi = sv.rowNext[bi] {
+				nj := m + sv.basisJ[bi]
+				if !sv.visited[nj] {
+					sv.visited[nj] = true
+					sv.parent[nj] = bi
+					if nj == m+enterJ {
+						found = true
+						break
+					}
+					queue = append(queue, nj)
+				}
+			}
+		} else {
+			j := node - m
+			for bi := sv.colHead[j]; bi != -1; bi = sv.colNext[bi] {
+				ni := sv.basisI[bi]
+				if !sv.visited[ni] {
+					sv.visited[ni] = true
+					sv.parent[ni] = bi
+					queue = append(queue, ni)
+				}
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("emd: internal: no cycle for entering cell (%d,%d)", enterI, enterJ)
+	}
+	// Walk back from column enterJ to row enterI collecting the path of
+	// basis edges. The cycle is: entering cell (+θ), then path edges
+	// alternating −θ, +θ, …
+	path := sv.path[:0]
+	node := m + enterJ
+	for node != enterI {
+		bi := sv.parent[node]
+		path = append(path, bi)
+		if node == m+sv.basisJ[bi] {
+			node = sv.basisI[bi]
+		} else {
+			node = m + sv.basisJ[bi]
+		}
+	}
+	sv.path = path
+	// Even positions (0-based) in path are the −θ edges: path[0] shares
+	// column enterJ with the entering cell, so it loses flow.
+	theta := math.Inf(1)
+	leave := -1
+	for p := 0; p < len(path); p += 2 {
+		bi := path[p]
+		if sv.basisF[bi] < theta {
+			theta = sv.basisF[bi]
+			leave = bi
+		}
+	}
+	if leave == -1 {
+		return fmt.Errorf("emd: internal: unbounded pivot")
+	}
+	for p, bi := range path {
+		if p%2 == 0 {
+			sv.basisF[bi] -= theta
+			if sv.basisF[bi] < 0 {
+				sv.basisF[bi] = 0 // rounding residue
+			}
+		} else {
+			sv.basisF[bi] += theta
+		}
+	}
+
+	// Swap the leaving cell for the entering one, patching the adjacency
+	// lists in place.
+	oldI, oldJ := sv.basisI[leave], sv.basisJ[leave]
+	sv.removeRowArc(oldI, leave)
+	sv.removeColArc(oldJ, leave)
+	sv.basisI[leave], sv.basisJ[leave], sv.basisF[leave] = enterI, enterJ, theta
+	sv.rowNext[leave] = sv.rowHead[enterI]
+	sv.rowHead[enterI] = leave
+	sv.colNext[leave] = sv.colHead[enterJ]
+	sv.colHead[enterJ] = leave
+
+	// Incremental MODI update: removing the entering arc from the new tree
+	// splits it into the root component (row 0, whose potentials stand)
+	// and the far component, whose potentials all shift by the entering
+	// cell's reduced cost r so that u[enterI] + v[enterJ] = c again.
+	comp, rootSeen := sv.component(m+enterJ, leave)
+	rowShift, colShift := -r, r
+	if rootSeen {
+		comp, rootSeen = sv.component(enterI, leave)
+		if rootSeen {
+			return fmt.Errorf("emd: internal: entering arc (%d,%d) does not separate the basis tree", enterI, enterJ)
+		}
+		rowShift, colShift = r, -r
+	}
+	for _, node := range comp {
+		if node < m {
+			sv.u[node] += rowShift
+		} else {
+			sv.v[node-m] += colShift
+		}
+	}
+	return nil
+}
+
+// component collects the nodes reachable from start in the basis tree
+// without traversing basis arc skip, and reports whether the root (row 0)
+// is among them. The returned slice aliases the solver's queue buffer.
+func (sv *Solver) component(start, skip int) (nodes []int, rootSeen bool) {
+	m := sv.m
+	for x := range sv.visited[:m+sv.n] {
+		sv.visited[x] = false
+	}
+	sv.visited[start] = true
+	queue := sv.queue[:0]
+	queue = append(queue, start)
+	rootSeen = start == 0
+	for head := 0; head < len(queue); head++ {
+		node := queue[head]
+		if node < m {
+			for bi := sv.rowHead[node]; bi != -1; bi = sv.rowNext[bi] {
+				if bi == skip {
+					continue
+				}
+				if nj := m + sv.basisJ[bi]; !sv.visited[nj] {
+					sv.visited[nj] = true
+					queue = append(queue, nj)
+				}
+			}
+		} else {
+			j := node - m
+			for bi := sv.colHead[j]; bi != -1; bi = sv.colNext[bi] {
+				if bi == skip {
+					continue
+				}
+				if ni := sv.basisI[bi]; !sv.visited[ni] {
+					if ni == 0 {
+						rootSeen = true
+					}
+					sv.visited[ni] = true
+					queue = append(queue, ni)
+				}
+			}
+		}
+	}
+	return queue, rootSeen
+}
+
+// removeRowArc unlinks basis entry bi from row i's adjacency list.
+func (sv *Solver) removeRowArc(i, bi int) {
+	if sv.rowHead[i] == bi {
+		sv.rowHead[i] = sv.rowNext[bi]
+		return
+	}
+	for p := sv.rowHead[i]; p != -1; p = sv.rowNext[p] {
+		if sv.rowNext[p] == bi {
+			sv.rowNext[p] = sv.rowNext[bi]
+			return
+		}
+	}
+}
+
+// removeColArc unlinks basis entry bi from column j's adjacency list.
+func (sv *Solver) removeColArc(j, bi int) {
+	if sv.colHead[j] == bi {
+		sv.colHead[j] = sv.colNext[bi]
+		return
+	}
+	for p := sv.colHead[j]; p != -1; p = sv.colNext[p] {
+		if sv.colNext[p] == bi {
+			sv.colNext[p] = sv.colNext[bi]
+			return
+		}
+	}
+}
+
+// solveTransport solves the balanced transportation problem
+//
+//	min Σ f_ij c_ij   s.t.  Σ_j f_ij = supply_i, Σ_i f_ij = demand_j, f >= 0
+//
+// and returns the optimal flow matrix and objective. It is the
+// allocate-per-call compatibility wrapper over Solver; hot paths should
+// hold a Solver (or call Distance/DistanceFlow, which pool them).
+func solveTransport(supply, demand []float64, cost [][]float64) (flow [][]float64, totalCost float64, err error) {
+	m, n := len(supply), len(demand)
+	if m == 0 || n == 0 {
+		return nil, 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m, n)
+	}
+	sv := solverPool.Get().(*Solver)
+	defer solverPool.Put(sv)
+	sv.m, sv.n = m, n
+	sv.supply = growFloats(sv.supply, m)
+	copy(sv.supply, supply)
+	sv.demand = growFloats(sv.demand, n)
+	copy(sv.demand, demand)
+	sv.cost = growFloats(sv.cost, m*n)
 	maxCost := 0.0
-	for i := range cost {
+	for i := 0; i < m; i++ {
+		if len(cost[i]) != n {
+			return nil, 0, fmt.Errorf("emd: cost row %d has %d columns, want %d", i, len(cost[i]), n)
+		}
+		copy(sv.cost[i*n:(i+1)*n], cost[i])
 		for _, c := range cost[i] {
 			if c > maxCost {
 				maxCost = c
 			}
 		}
 	}
-	tol := 1e-10 * (1 + maxCost)
-
-	maxIters := 200 + 20*m*n
-	for iter := 0; ; iter++ {
-		if iter > maxIters {
-			return nil, 0, fmt.Errorf("emd: simplex did not converge in %d iterations (%dx%d)", maxIters, m, n)
-		}
-
-		// Rebuild adjacency of the basis tree.
-		for i := range rowAdj {
-			rowAdj[i] = rowAdj[i][:0]
-		}
-		for j := range colAdj {
-			colAdj[j] = colAdj[j][:0]
-		}
-		for bi, c := range basis {
-			rowAdj[c.i] = append(rowAdj[c.i], bi)
-			colAdj[c.j] = append(colAdj[c.j], bi)
-		}
-
-		// --- MODI potentials: solve u_i + v_j = c_ij over the tree. ---
-		for i := range uSet {
-			uSet[i] = false
-		}
-		for j := range vSet {
-			vSet[j] = false
-		}
-		u[0], uSet[0] = 0, true
-		// BFS over tree nodes; queue holds (isRow, index).
-		queue := make([]int, 0, m+n) // encode rows as i, cols as m+j
-		queue = append(queue, 0)
-		for len(queue) > 0 {
-			node := queue[0]
-			queue = queue[1:]
-			if node < m {
-				i := node
-				for _, bi := range rowAdj[i] {
-					j := basis[bi].j
-					if !vSet[j] {
-						v[j] = cost[i][j] - u[i]
-						vSet[j] = true
-						queue = append(queue, m+j)
-					}
-				}
-			} else {
-				j := node - m
-				for _, bi := range colAdj[j] {
-					i := basis[bi].i
-					if !uSet[i] {
-						u[i] = cost[i][j] - v[j]
-						uSet[i] = true
-						queue = append(queue, i)
-					}
-				}
-			}
-		}
-		for i := range uSet {
-			if !uSet[i] {
-				return nil, 0, fmt.Errorf("emd: internal: basis tree disconnected at row %d", i)
-			}
-		}
-		for j := range vSet {
-			if !vSet[j] {
-				return nil, 0, fmt.Errorf("emd: internal: basis tree disconnected at column %d", j)
-			}
-		}
-
-		// --- Entering cell: most negative reduced cost. ---
-		enterI, enterJ := -1, -1
-		worst := -tol
-		for i := 0; i < m; i++ {
-			ci := cost[i]
-			ui := u[i]
-			for j := 0; j < n; j++ {
-				if r := ci[j] - ui - v[j]; r < worst {
-					worst = r
-					enterI, enterJ = i, j
-				}
-			}
-		}
-		if enterI == -1 {
-			break // optimal
-		}
-
-		// --- Find the cycle: path from row enterI to column enterJ in
-		// the basis tree, then alternate +θ/−θ around it. ---
-		parentEdge := make([]int, m+n) // basis index used to reach node
-		for i := range parentEdge {
-			parentEdge[i] = -1
-		}
-		visited := make([]bool, m+n)
-		visited[enterI] = true
-		queue = queue[:0]
-		queue = append(queue, enterI)
-		found := false
-		for len(queue) > 0 && !found {
-			node := queue[0]
-			queue = queue[1:]
-			if node < m {
-				i := node
-				for _, bi := range rowAdj[i] {
-					nj := m + basis[bi].j
-					if !visited[nj] {
-						visited[nj] = true
-						parentEdge[nj] = bi
-						if nj == m+enterJ {
-							found = true
-							break
-						}
-						queue = append(queue, nj)
-					}
-				}
-			} else {
-				j := node - m
-				for _, bi := range colAdj[j] {
-					ni := basis[bi].i
-					if !visited[ni] {
-						visited[ni] = true
-						parentEdge[ni] = bi
-						queue = append(queue, ni)
-					}
-				}
-			}
-		}
-		if !found {
-			return nil, 0, fmt.Errorf("emd: internal: no cycle for entering cell (%d,%d)", enterI, enterJ)
-		}
-		// Walk back from column enterJ to row enterI collecting the path
-		// of basis edges. The cycle is: entering cell (+θ), then path
-		// edges alternating −θ, +θ, …
-		var path []int
-		node := m + enterJ
-		for node != enterI {
-			bi := parentEdge[node]
-			path = append(path, bi)
-			c := basis[bi]
-			if node == m+c.j {
-				node = c.i
-			} else {
-				node = m + c.j
-			}
-		}
-		// Odd positions (0-based) in `path` are the −θ edges: path[0]
-		// shares column enterJ with the entering cell, so it loses flow.
-		theta := math.Inf(1)
-		leave := -1
-		for p := 0; p < len(path); p += 2 {
-			bi := path[p]
-			if basis[bi].f < theta {
-				theta = basis[bi].f
-				leave = bi
-			}
-		}
-		if leave == -1 {
-			return nil, 0, fmt.Errorf("emd: internal: unbounded pivot")
-		}
-		for p, bi := range path {
-			if p%2 == 0 {
-				basis[bi].f -= theta
-				if basis[bi].f < 0 {
-					basis[bi].f = 0 // rounding residue
-				}
-			} else {
-				basis[bi].f += theta
-			}
-		}
-		basis[leave] = basicCell{enterI, enterJ, theta}
+	sv.maxCost = maxCost
+	totalCost, err = sv.solve()
+	if err != nil {
+		return nil, 0, err
 	}
-
-	// Extract the flow matrix; clamp perturbation-sized values to zero.
 	flow = make([][]float64, m)
 	for i := range flow {
 		flow[i] = make([]float64, n)
 	}
-	clamp := eps * float64(m+n) * 4
-	for _, c := range basis {
-		f := c.f
-		if f <= clamp {
-			continue
+	clamp := sv.eps * float64(m+n) * 4
+	for k := range sv.basisF {
+		if f := sv.basisF[k]; f > clamp {
+			flow[sv.basisI[k]][sv.basisJ[k]] = f
 		}
-		flow[c.i][c.j] = f
-		totalCost += f * cost[c.i][c.j]
 	}
 	return flow, totalCost, nil
 }

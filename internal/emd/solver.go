@@ -1,0 +1,307 @@
+package emd
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+
+	"repro/internal/signature"
+)
+
+// Solver is a reusable transportation-simplex workspace. All scratch
+// state — the flat row-major cost matrix, the basis tree, the MODI
+// potentials, and the BFS buffers — is owned by the Solver and recycled
+// across calls, so a warm Solver computes EMDs with zero steady-state
+// allocations (Distance) or a single output allocation (DistanceFlow).
+//
+// A Solver is not safe for concurrent use; give each goroutine its own
+// (the package-level Distance/DistanceFlow functions rent Solvers from a
+// sync.Pool and remain safe to call from anywhere).
+type Solver struct {
+	// Filtered problem: indices of the >0-weight entries of each input.
+	srcIdx, dstIdx []int
+	supply, demand []float64
+
+	// Problem dimensions including the balancing dummy row/column.
+	m, n int
+	// cost is the m×n ground-cost matrix, row-major with stride n.
+	cost    []float64
+	maxCost float64
+	// eps is the Charnes perturbation applied by the last solve; flows at
+	// or below eps·(m+n)·4 are perturbation residue, not real transport.
+	eps float64
+
+	// Basis: exactly m+n−1 cells (i, j, flow).
+	basisI, basisJ []int
+	basisF         []float64
+
+	// Basis-tree adjacency as intrusive linked lists over basis entries.
+	rowHead, colHead []int // first basis index per row/col, −1 if none
+	rowNext, colNext []int // next basis index in the same row/col
+
+	// MODI potentials and their solved-flags.
+	u, v       []float64
+	uSet, vSet []bool
+
+	// BFS scratch for potentials and cycle search over the m+n tree nodes.
+	queue   []int
+	parent  []int // basis index used to reach each node
+	visited []bool
+	path    []int
+
+	// Per-row pricing candidates: cand[i] is the column of the most
+	// negative cell seen in row i at the last refill scan, −1 if none.
+	cand []int
+
+	// Scratch for the 1-D closed-form fast path.
+	events []ev1d
+}
+
+// NewSolver returns an empty Solver; buffers grow on first use and are
+// retained for subsequent calls.
+func NewSolver() *Solver { return &Solver{} }
+
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// euclideanPtr identifies the Euclidean ground function so Distance can
+// take the exact 1-D closed form even when the caller passes emd.Euclidean
+// explicitly rather than nil.
+var euclideanPtr = reflect.ValueOf(Euclidean).Pointer()
+
+// euclideanGround reports whether g selects the Euclidean ground distance
+// (nil defaults to Euclidean).
+func euclideanGround(g Ground) bool {
+	return g == nil || reflect.ValueOf(g).Pointer() == euclideanPtr
+}
+
+// Distance returns EMD(s, t) under ground distance g (nil means
+// Euclidean). It is the no-flow variant: the transportation problem is
+// solved on the Solver's scratch buffers and the optimal flow matrix is
+// never materialized. When both signatures are 1-D with equal total
+// weight and the ground is Euclidean (nil or explicit), the exact
+// closed-form Wasserstein-1 fast path is used instead of the simplex.
+func (sv *Solver) Distance(s, t signature.Signature, g Ground) (float64, error) {
+	if err := validatePair(s, t); err != nil {
+		return 0, err
+	}
+	if s.Dim() == 1 && balanced(s, t) && euclideanGround(g) {
+		return sv.distance1D(s, t), nil
+	}
+	if g == nil {
+		g = Euclidean
+	}
+	amount, err := sv.prepare(s, t, g)
+	if err != nil {
+		return 0, err
+	}
+	totalCost, err := sv.solve()
+	if err != nil {
+		return 0, err
+	}
+	if amount <= 0 {
+		return 0, nil
+	}
+	return totalCost / amount, nil
+}
+
+// DistanceFlow computes the optimal transportation plan between s and t
+// under ground distance g (nil means Euclidean) and returns the full
+// Result. Zero-weight signature entries are dropped before solving; Flow
+// indices follow the filtered signatures. Only the returned flow matrix
+// is freshly allocated; all solver state is reused.
+func (sv *Solver) DistanceFlow(s, t signature.Signature, g Ground) (*Result, error) {
+	if err := validatePair(s, t); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		g = Euclidean
+	}
+	amount, err := sv.prepare(s, t, g)
+	if err != nil {
+		return nil, err
+	}
+	totalCost, err := sv.solve()
+	if err != nil {
+		return nil, err
+	}
+	// Materialize the flow over the real (filtered, non-dummy) cells.
+	realM, realN := len(sv.srcIdx), len(sv.dstIdx)
+	flow := make([][]float64, realM)
+	cells := make([]float64, realM*realN)
+	for i := range flow {
+		flow[i] = cells[i*realN : (i+1)*realN : (i+1)*realN]
+	}
+	clamp := sv.flowClamp()
+	for k := range sv.basisF {
+		f := sv.basisF[k]
+		if f <= clamp {
+			continue
+		}
+		i, j := sv.basisI[k], sv.basisJ[k]
+		if i < realM && j < realN {
+			flow[i][j] = f
+		}
+	}
+	res := &Result{Cost: totalCost, Amount: amount, Flow: flow}
+	if amount > 0 {
+		res.EMD = totalCost / amount
+	}
+	return res, nil
+}
+
+func validatePair(s, t signature.Signature) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("emd: source %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("emd: sink %w", err)
+	}
+	if s.Dim() != t.Dim() {
+		return fmt.Errorf("emd: dimension mismatch %d vs %d", s.Dim(), t.Dim())
+	}
+	return nil
+}
+
+// distance1D is the closed-form balanced 1-D path on reusable buffers.
+func (sv *Solver) distance1D(s, t signature.Signature) float64 {
+	ln := s.Len() + t.Len()
+	if cap(sv.events) < ln {
+		sv.events = make([]ev1d, ln)
+	}
+	events := sv.events[:ln]
+	totS, totT := s.TotalWeight(), t.TotalWeight()
+	for i, c := range s.Centers {
+		events[i] = ev1d{c[0], s.Weights[i] / totS}
+	}
+	off := s.Len()
+	for i, c := range t.Centers {
+		events[off+i] = ev1d{c[0], -t.Weights[i] / totT}
+	}
+	sortEvents(events)
+	emdVal := 0.0
+	cdfDiff := 0.0
+	for i := 0; i < len(events)-1; i++ {
+		cdfDiff += events[i].w
+		gap := events[i+1].x - events[i].x
+		emdVal += math.Abs(cdfDiff) * gap
+	}
+	return emdVal
+}
+
+// prepare filters zero-weight entries, builds the flat cost matrix and the
+// supply/demand vectors (balancing with a zero-cost dummy node on the
+// deficient side, Eq. 9-11), and returns the total moved amount
+// min(ΣW, ΣW′).
+func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
+	sv.srcIdx = sv.srcIdx[:0]
+	totS := 0.0
+	for i, w := range s.Weights {
+		if w > 0 {
+			sv.srcIdx = append(sv.srcIdx, i)
+			totS += w
+		}
+	}
+	sv.dstIdx = sv.dstIdx[:0]
+	totT := 0.0
+	for j, w := range t.Weights {
+		if w > 0 {
+			sv.dstIdx = append(sv.dstIdx, j)
+			totT += w
+		}
+	}
+	m0, n0 := len(sv.srcIdx), len(sv.dstIdx)
+	if m0 == 0 || n0 == 0 {
+		return 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m0, n0)
+	}
+	amount := math.Min(totS, totT)
+
+	// Decide the dummy before building the matrix so it can be laid out
+	// flat in one pass.
+	m, n := m0, n0
+	diff := totS - totT
+	const relTol = 1e-12
+	dummyCol := diff > relTol*math.Max(totS, totT)
+	dummyRow := -diff > relTol*math.Max(totS, totT)
+	if dummyCol {
+		n++
+	} else if dummyRow {
+		m++
+	}
+	sv.m, sv.n = m, n
+
+	sv.cost = growFloats(sv.cost, m*n)
+	maxCost := 0.0
+	for i := 0; i < m0; i++ {
+		ci := s.Centers[sv.srcIdx[i]]
+		row := sv.cost[i*n : (i+1)*n]
+		for j := 0; j < n0; j++ {
+			d := g(ci, t.Centers[sv.dstIdx[j]])
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return 0, fmt.Errorf("emd: ground distance returned %g", d)
+			}
+			row[j] = d
+			if d > maxCost {
+				maxCost = d
+			}
+		}
+		if dummyCol {
+			row[n0] = 0
+		}
+	}
+	if dummyRow {
+		row := sv.cost[m0*n : (m0+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	sv.maxCost = maxCost
+
+	sv.supply = growFloats(sv.supply, m)
+	sv.demand = growFloats(sv.demand, n)
+	for i := 0; i < m0; i++ {
+		sv.supply[i] = s.Weights[sv.srcIdx[i]]
+	}
+	for j := 0; j < n0; j++ {
+		sv.demand[j] = t.Weights[sv.dstIdx[j]]
+	}
+	switch {
+	case dummyCol:
+		sv.demand[n0] = diff
+	case dummyRow:
+		sv.supply[m0] = -diff
+	case diff > 0:
+		// Negligible imbalance from rounding: absorb into the last entry.
+		sv.demand[n0-1] += diff
+	case diff < 0:
+		sv.supply[m0-1] -= diff
+	}
+	return amount, nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+// flowClamp is the threshold under which a basic flow is considered pure
+// Charnes-perturbation residue.
+func (sv *Solver) flowClamp() float64 {
+	return sv.eps * float64(sv.m+sv.n) * 4
+}

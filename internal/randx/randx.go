@@ -17,23 +17,91 @@ import (
 // single seeded stream drives an entire experiment.
 type RNG struct {
 	*rand.Rand
+	src rand.Source
 }
 
-// New returns an RNG seeded with seed.
+// New returns an RNG seeded with seed, backed by the stdlib source (the
+// historical stream every experiment's seeds were chosen against).
 func New(seed int64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// NewFast returns an RNG backed by a xoshiro256++ source (Blackman &
+// Vigna 2018). Its stream differs from New's, but seeding — and therefore
+// Reseed — is O(1), where the stdlib source pays a ~600-word feedback
+// register initialization. Use it for short-lived derived streams that
+// are reseeded per task, e.g. the bootstrap's per-shard replicate
+// streams.
+func NewFast(seed int64) *RNG {
+	src := &xoshiro{}
+	src.Seed(seed)
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// xoshiro is a xoshiro256++ generator (Blackman & Vigna 2018) seeded from
+// an int64 via splitmix64, implementing math/rand.Source64.
+type xoshiro struct {
+	s [4]uint64
+}
+
+// Seed initializes the state from seed by four splitmix64 steps, the
+// initialization recommended by the xoshiro authors. O(1), unlike the
+// stdlib source.
+func (x *xoshiro) Seed(seed int64) {
+	z := uint64(seed)
+	for i := range x.s {
+		z += 0x9E3779B97F4A7C15
+		w := z
+		w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9
+		w = (w ^ (w >> 27)) * 0x94D049BB133111EB
+		x.s[i] = w ^ (w >> 31)
+	}
+}
+
+func (x *xoshiro) Uint64() uint64 {
+	s := &x.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+func rotl(v uint64, k uint) uint64 { return (v << k) | (v >> (64 - k)) }
+
+// SplitSeed deterministically derives an independent sub-seed from
+// (seed, id) with splitmix64-style finalization. It is a pure function:
+// shard k of a parallel computation can derive its own stream from a
+// single base seed without consuming draws from a shared RNG, and the
+// derived streams do not depend on how many shards run or in what order.
+func SplitSeed(seed, id int64) int64 {
+	z := uint64(seed) ^ (uint64(id) * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
 }
 
 // Split derives an independent RNG from r, keyed by id. It is used to give
 // each subsystem of an experiment (data generation, bootstrap, …) its own
 // stream so adding draws to one does not perturb the others.
 func (r *RNG) Split(id int64) *RNG {
-	// Mix the id with draws from r via splitmix64-style finalization.
-	z := uint64(r.Int63()) ^ (uint64(id) * 0x9E3779B97F4A7C15)
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return New(int64(z & math.MaxInt64))
+	return New(SplitSeed(r.Int63(), id))
+}
+
+// Reseed resets r to the stream produced by its constructor with seed,
+// without allocating a new generator. Parallel shard workers keep one RNG
+// each and reseed it per task, which keeps hot loops allocation-free.
+// O(1) for NewFast RNGs; New RNGs pay the stdlib's full re-init.
+func (r *RNG) Reseed(seed int64) {
+	r.src.Seed(seed)
 }
 
 // Normal draws a sample from N(mu, sigma²).
@@ -205,7 +273,15 @@ func (r *RNG) DirichletInto(alpha []float64, dst []float64) {
 	}
 	total := 0.0
 	for i, a := range alpha {
-		g := r.Gamma(a, 1)
+		var g float64
+		if a == 1 {
+			// Gamma(1,1) is Exp(1); the direct exponential draw is several
+			// times cheaper than the Marsaglia-Tsang rejection loop. This is
+			// the common case: the plain Bayesian bootstrap uses Dir(1,…,1).
+			g = r.ExpFloat64()
+		} else {
+			g = r.Gamma(a, 1)
+		}
 		dst[i] = g
 		total += g
 	}

@@ -1,0 +1,153 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSplitSeedDeterministicAndSpread: SplitSeed is a pure function whose
+// outputs for adjacent ids look unrelated and never collide over a
+// practical range.
+func TestSplitSeedDeterministicAndSpread(t *testing.T) {
+	if SplitSeed(42, 7) != SplitSeed(42, 7) {
+		t.Fatal("SplitSeed is not deterministic")
+	}
+	seen := make(map[int64]bool)
+	for id := int64(0); id < 10000; id++ {
+		s := SplitSeed(123456789, id)
+		if s < 0 {
+			t.Fatalf("SplitSeed produced negative seed %d", s)
+		}
+		if seen[s] {
+			t.Fatalf("SplitSeed collision at id %d", id)
+		}
+		seen[s] = true
+	}
+	// Changing either argument must change the output.
+	if SplitSeed(1, 2) == SplitSeed(1, 3) || SplitSeed(1, 2) == SplitSeed(2, 2) {
+		t.Fatal("SplitSeed ignores an argument")
+	}
+}
+
+// TestSplitMatchesSplitSeed: RNG.Split must remain exactly the historical
+// stream — New(SplitSeed(first draw, id)).
+func TestSplitMatchesSplitSeed(t *testing.T) {
+	a := New(77)
+	b := New(77)
+	sa := a.Split(5)
+	sb := New(SplitSeed(b.Int63(), 5))
+	for i := 0; i < 100; i++ {
+		if sa.Int63() != sb.Int63() {
+			t.Fatalf("Split diverged from New(SplitSeed(...)) at draw %d", i)
+		}
+	}
+}
+
+// TestNewFastDeterministicAndReseedable: NewFast streams are reproducible
+// from their seed, distinct across seeds, and Reseed restores the stream
+// exactly without allocation.
+func TestNewFastDeterministicAndReseedable(t *testing.T) {
+	a, b := NewFast(9), NewFast(9)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("NewFast(9) streams diverged at draw %d", i)
+		}
+	}
+	c := NewFast(10)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewFast(9).Int63() == c.Int63() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("NewFast(9) and NewFast(10) look identical")
+	}
+
+	r := NewFast(1234)
+	first := make([]int64, 20)
+	for i := range first {
+		first[i] = r.Int63()
+	}
+	r.Reseed(1234)
+	for i := range first {
+		if got := r.Int63(); got != first[i] {
+			t.Fatalf("Reseed did not restore the stream at draw %d", i)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { r.Reseed(42); _ = r.Int63() }); allocs != 0 {
+		t.Errorf("Reseed allocates %g/op, want 0", allocs)
+	}
+}
+
+// TestReseedMatchesNewForStdlibSource: Reseed on a New-backed RNG must
+// reproduce New's stream, so both constructors honor the same contract.
+func TestReseedMatchesNewForStdlibSource(t *testing.T) {
+	r := New(1)
+	r.Int63()
+	r.Reseed(555)
+	fresh := New(555)
+	for i := 0; i < 50; i++ {
+		if r.Int63() != fresh.Int63() {
+			t.Fatalf("stdlib Reseed diverged from New at draw %d", i)
+		}
+	}
+}
+
+// TestNewFastMoments: the xoshiro-backed samplers must deliver the same
+// distributions as the stdlib-backed ones.
+func TestNewFastMoments(t *testing.T) {
+	r := NewFast(2024)
+	const n = 200000
+	sumU, sumE, sumN, sumN2 := 0.0, 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		sumU += r.Float64()
+		sumE += r.ExpFloat64()
+		x := r.NormFloat64()
+		sumN += x
+		sumN2 += x * x
+	}
+	if m := sumU / n; math.Abs(m-0.5) > 0.01 {
+		t.Errorf("uniform mean %g, want ~0.5", m)
+	}
+	if m := sumE / n; math.Abs(m-1) > 0.02 {
+		t.Errorf("exponential mean %g, want ~1", m)
+	}
+	if m := sumN / n; math.Abs(m) > 0.02 {
+		t.Errorf("normal mean %g, want ~0", m)
+	}
+	if v := sumN2/n - (sumN/n)*(sumN/n); math.Abs(v-1) > 0.03 {
+		t.Errorf("normal variance %g, want ~1", v)
+	}
+}
+
+// TestDirichletExpFastPathMatchesGamma: Dir(1,…,1) through the
+// exponential fast path must have the same distribution as the gamma
+// path with alpha just off 1 — compare component means and variances.
+// (Mean 1/k, variance (k−1)/(k²(k+1)) for Dir(1,…,1).)
+func TestDirichletExpFastPathMatchesGamma(t *testing.T) {
+	const k = 4
+	const n = 100000
+	exact := []float64{1, 1, 1, 1}
+	off := []float64{1 + 1e-9, 1 + 1e-9, 1 + 1e-9, 1 + 1e-9} // gamma path
+	for name, alpha := range map[string][]float64{"exp": exact, "gamma": off} {
+		r := New(77)
+		dst := make([]float64, k)
+		mean, m2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			r.DirichletInto(alpha, dst)
+			mean += dst[0]
+			m2 += dst[0] * dst[0]
+		}
+		mean /= n
+		variance := m2/n - mean*mean
+		if math.Abs(mean-0.25) > 0.01 {
+			t.Errorf("%s path: mean %g, want 0.25", name, mean)
+		}
+		wantVar := float64(k-1) / float64(k*k*(k+1))
+		if math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("%s path: variance %g, want ~%g", name, variance, wantVar)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package testutil holds small helpers shared by the repository's tests.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-regression tests skip themselves under -race: the
+// race runtime instruments sync.Pool and goroutine handoff with heap
+// allocations that do not exist in production builds.
+var RaceEnabled = raceEnabled

@@ -1,0 +1,5 @@
+//go:build !race
+
+package testutil
+
+const raceEnabled = false
