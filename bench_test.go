@@ -587,3 +587,68 @@ func BenchmarkKCD(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine benchmarks ------------------------------------------------------
+
+// benchmarkEngineBatch measures steady-state batch throughput over 64
+// concurrent streams: each op pushes one batch with one bag per stream
+// (64 detector pushes). The workers=1 variant is the sequential
+// per-detector baseline — per-stream output is bit-identical between the
+// two (see TestEnginePushBatchBitIdentical), so the worker fan-out is a
+// pure throughput knob and the ratio of these two benchmarks is the
+// engine's multicore speedup (≈1× on a single-core box).
+func benchmarkEngineBatch(b *testing.B, workers int) {
+	const streams = 64
+	const history = 16
+	eng, err := core.NewEngine(core.EngineConfig{
+		Template: core.Config{
+			Tau: 4, TauPrime: 4,
+			Bootstrap: bootstrap.Config{Replicates: 200},
+		},
+		Factory: signature.HistogramFactory(-6, 6, 24),
+		Seed:    1,
+		Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(9)
+	bags := make([][]bag.Bag, streams)
+	ids := make([]string, streams)
+	for s := range bags {
+		ids[s] = "stream-" + string(rune('A'+s%26)) + string(rune('0'+s/26))
+		bags[s] = make([]bag.Bag, history)
+		for ts := range bags[s] {
+			vals := make([]float64, 80)
+			for i := range vals {
+				vals[i] = rng.Normal(0, 1)
+			}
+			bags[s][ts] = bag.FromScalars(ts, vals)
+		}
+	}
+	batch := make([]core.StreamBag, streams)
+	push := func(step int) {
+		for s := range batch {
+			batch[s] = core.StreamBag{StreamID: ids[s], Bag: bags[s][step%history]}
+		}
+		if _, err := eng.PushBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for step := 0; step < 8; step++ { // fill every window: warm steady state
+		push(step)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push(8 + i)
+	}
+	b.ReportMetric(float64(streams)*float64(b.N)/b.Elapsed().Seconds(), "bags/s")
+}
+
+func BenchmarkEnginePushBatch(b *testing.B) {
+	benchmarkEngineBatch(b, runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkEnginePushBatchSequential(b *testing.B) {
+	benchmarkEngineBatch(b, 1)
+}

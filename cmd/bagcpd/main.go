@@ -10,10 +10,20 @@
 //	       with the same integer t form one bag (t must be
 //	       non-decreasing).
 //
+// With -streams the input multiplexes MANY independent streams and the
+// detector engine fans them across -workers goroutines (jsonl only):
+// each line is an object {"stream": "id", "points": [[...], ...]}, bags
+// are batched -batch lines at a time through the engine's batch push,
+// and the output gains a leading stream column. Every stream's rows are
+// bit-identical to running that stream alone through a single detector
+// seeded from (-seed, stream id), whatever the batch interleaving or
+// worker count.
+//
 // Example:
 //
 //	bagcpd -tau 5 -tau-prime 5 -score kl -k 8 < bags.jsonl
 //	bagcpd -format csv -hist-lo -10 -hist-hi 10 -hist-bins 40 < points.csv
+//	bagcpd -streams -workers 8 -hist-lo -10 -hist-hi 10 -hist-bins 40 < multiplexed.jsonl
 package main
 
 import (
@@ -44,38 +54,30 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.05, "significance level")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		input    = flag.String("in", "-", "input path, or - for stdin")
+		streams  = flag.Bool("streams", false, "multi-stream mode: jsonl lines are {\"stream\":id,\"points\":[...]}")
+		workers  = flag.Int("workers", 0, "engine worker goroutines for -streams (0 = GOMAXPROCS)")
+		batch    = flag.Int("batch", 256, "bags per engine batch in -streams mode")
 	)
 	flag.Parse()
 
-	var builder repro.Builder
+	var factory repro.BuilderFactory
 	if *histBins > 0 {
 		if !(*histHi > *histLo) {
 			fatalf("-hist-hi must exceed -hist-lo")
 		}
-		builder = repro.NewHistogramBuilder(*histLo, *histHi, *histBins)
+		factory = repro.HistogramFactory(*histLo, *histHi, *histBins)
 	} else {
-		builder = repro.NewKMeansBuilder(*k, *seed)
+		factory = repro.KMeansFactory(*k)
 	}
-	cfg := repro.Config{
-		Tau:       *tau,
-		TauPrime:  *tauPrime,
-		Builder:   builder,
-		Bootstrap: repro.BootstrapConfig{Replicates: *reps, Alpha: *alpha},
-		Seed:      *seed,
-	}
+	scoreType := repro.ScoreKL
 	switch *score {
 	case "kl":
-		cfg.Score = repro.ScoreKL
 	case "lr":
-		cfg.Score = repro.ScoreLR
+		scoreType = repro.ScoreLR
 	default:
 		fatalf("unknown -score %q (want kl or lr)", *score)
 	}
-
-	det, err := repro.NewDetector(cfg)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	bootCfg := repro.BootstrapConfig{Replicates: *reps, Alpha: *alpha}
 
 	in := os.Stdin
 	if *input != "-" {
@@ -89,18 +91,54 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	fmt.Fprintln(out, "t,score,ci_lo,ci_up,kappa,alarm")
 
+	if *streams {
+		if *format != "jsonl" {
+			fatalf("-streams requires -format jsonl")
+		}
+		if *batch < 1 {
+			fatalf("-batch must be >= 1")
+		}
+		eng, err := repro.NewEngine(
+			repro.WithTau(*tau), repro.WithTauPrime(*tauPrime),
+			repro.WithScore(scoreType),
+			repro.WithBuilderFactory(factory),
+			repro.WithBootstrap(bootCfg),
+			repro.WithSeed(*seed),
+			repro.WithWorkers(*workers),
+		)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintln(out, "stream,t,score,ci_lo,ci_up,kappa,alarm")
+		if err := readJSONLStreams(in, eng, *batch, func(id string, p *repro.Point) {
+			fmt.Fprintf(out, "%s,%d,%g,%g,%g,%s,%t\n",
+				id, p.T, p.Score, p.Interval.Lo, p.Interval.Up, kappaString(p.Kappa), p.Alarm)
+		}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	det, err := repro.NewDetector(repro.Config{
+		Tau:       *tau,
+		TauPrime:  *tauPrime,
+		Score:     scoreType,
+		Builder:   factory(*seed),
+		Bootstrap: bootCfg,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Fprintln(out, "t,score,ci_lo,ci_up,kappa,alarm")
 	emit := func(p *repro.Point) {
 		if p == nil {
 			return
 		}
-		kappa := "NaN"
-		if !math.IsNaN(p.Kappa) {
-			kappa = strconv.FormatFloat(p.Kappa, 'g', -1, 64)
-		}
 		fmt.Fprintf(out, "%d,%g,%g,%g,%s,%t\n",
-			p.T, p.Score, p.Interval.Lo, p.Interval.Up, kappa, p.Alarm)
+			p.T, p.Score, p.Interval.Lo, p.Interval.Up, kappaString(p.Kappa), p.Alarm)
 	}
 
 	var pushErr error
@@ -115,6 +153,67 @@ func main() {
 	if pushErr != nil {
 		fatalf("%v", pushErr)
 	}
+}
+
+func kappaString(kappa float64) string {
+	if math.IsNaN(kappa) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(kappa, 'g', -1, 64)
+}
+
+// readJSONLStreams reads multiplexed jsonl ({"stream": id, "points":
+// [...]}), assigns each stream its own bag clock in line order, and
+// feeds the engine in batches. emit sees one call per inspection point,
+// in input order within the batch.
+func readJSONLStreams(r io.Reader, eng *repro.Engine, batchSize int, emit func(string, *repro.Point)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	counts := make(map[string]int)
+	buf := make([]repro.StreamBag, 0, batchSize)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		results, err := eng.PushBatch(buf)
+		for _, res := range results {
+			if res.Err == nil && res.Point != nil {
+				emit(res.StreamID, res.Point)
+			}
+		}
+		buf = buf[:0]
+		return err
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Stream string      `json:"stream"`
+			Points [][]float64 `json:"points"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("bagcpd: line %d: %w", lineNo, err)
+		}
+		if rec.Stream == "" {
+			return fmt.Errorf("bagcpd: line %d: missing stream id", lineNo)
+		}
+		t := counts[rec.Stream]
+		counts[rec.Stream]++
+		buf = append(buf, repro.StreamBag{StreamID: rec.Stream, Bag: repro.NewBag(t, rec.Points)})
+		if len(buf) >= batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return sc.Err()
 }
 
 func readJSONL(r io.Reader, det *repro.Detector, emit func(*repro.Point)) error {

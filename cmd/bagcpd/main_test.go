@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -86,5 +87,75 @@ func TestReadCSVErrors(t *testing.T) {
 		if err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestReadJSONLStreams: the multiplexed reader gives every stream its
+// own bag clock and its output is invariant to the batch size.
+func TestReadJSONLStreams(t *testing.T) {
+	input := `{"stream":"a","points":[[1],[2],[3]]}
+{"stream":"b","points":[[5],[6]]}
+{"stream":"a","points":[[1.5],[2.5]]}
+{"stream":"b","points":[[5.5],[6.5]]}
+{"stream":"a","points":[[0],[1],[2]]}
+{"stream":"b","points":[[5],[7]]}
+{"stream":"a","points":[[5],[6]]}
+{"stream":"b","points":[[0],[1]]}
+`
+	run := func(batch int) map[string][]*repro.Point {
+		eng, err := repro.NewEngine(
+			repro.WithTau(2), repro.WithTauPrime(2),
+			repro.WithBuilderFactory(repro.HistogramFactory(-10, 10, 10)),
+			repro.WithBootstrap(repro.BootstrapConfig{Replicates: 50}),
+			repro.WithSeed(3),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string][]*repro.Point{}
+		err = readJSONLStreams(strings.NewReader(input), eng, batch, func(id string, p *repro.Point) {
+			got[id] = append(got[id], p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	want := run(1)
+	// 4 bags per stream, window 4 → exactly one inspection point each.
+	for _, id := range []string{"a", "b"} {
+		if len(want[id]) != 1 || want[id][0].T != 2 {
+			t.Fatalf("stream %s: points = %+v", id, want[id])
+		}
+	}
+	for _, batch := range []int{2, 3, 256} {
+		got := run(batch)
+		for _, id := range []string{"a", "b"} {
+			if len(got[id]) != len(want[id]) {
+				t.Fatalf("batch=%d stream=%s: %d points, want %d", batch, id, len(got[id]), len(want[id]))
+			}
+			for i := range got[id] {
+				g, w := *got[id][i], *want[id][i]
+				// Compare every field; Kappa needs NaN-aware equality.
+				sameKappa := g.Kappa == w.Kappa || (math.IsNaN(g.Kappa) && math.IsNaN(w.Kappa))
+				if g.T != w.T || g.Score != w.Score || g.Interval != w.Interval || g.Alarm != w.Alarm || !sameKappa {
+					t.Fatalf("batch=%d stream=%s point %d differs: %+v vs %+v", batch, id, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestReadJSONLStreamsMissingID(t *testing.T) {
+	eng, err := repro.NewEngine(
+		repro.WithTau(2), repro.WithTauPrime(2),
+		repro.WithBuilderFactory(repro.HistogramFactory(-10, 10, 10)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = readJSONLStreams(strings.NewReader(`{"points":[[1]]}`+"\n"), eng, 4, func(string, *repro.Point) {})
+	if err == nil {
+		t.Fatal("expected error for missing stream id")
 	}
 }

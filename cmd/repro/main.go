@@ -7,6 +7,7 @@
 //	repro -exp all             # everything (paper-scale; takes minutes)
 //	repro -exp fig10 -scale small -seed 7
 //	repro -exp ablation        # the DESIGN.md §5 design-choice studies
+//	repro -exp engine          # multi-stream engine scale-out demo
 //
 // The -scale small option shrinks the workloads (fewer nodes, records and
 // bootstrap replicates) so every figure regenerates in seconds; the shape
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig6|table1|fig7|fig10|fig11|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig6|table1|fig7|fig10|fig11|ablation|engine|all")
 	seed := flag.Int64("seed", 1, "master RNG seed")
 	scale := flag.String("scale", "full", "workload scale: full|small")
 	flag.Parse()
@@ -106,9 +107,20 @@ func main() {
 			}
 			return r.Report, nil
 		},
+		"engine": func() (string, error) {
+			opts := experiments.EngineScaleOptions{}
+			if small {
+				opts = experiments.EngineScaleOptions{Streams: 16, Steps: 24, Replicates: 100}
+			}
+			r, err := experiments.EngineScale(*seed, opts)
+			if err != nil {
+				return "", err
+			}
+			return r.Report, nil
+		},
 	}
 
-	order := []string{"fig1", "fig6", "table1", "fig7", "fig10", "fig11", "ablation"}
+	order := []string{"fig1", "fig6", "table1", "fig7", "fig10", "fig11", "ablation", "engine"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

@@ -31,19 +31,15 @@ func arWindow(rng *rand.Rand, n int, phi, marginalSD float64) []float64 {
 	return out
 }
 
-func run(seq repro.Sequence, name string) []int {
-	det, err := repro.NewDetector(repro.Config{
-		Tau: 5, TauPrime: 5,
-		Builder:   repro.NewHistogramBuilder(-5, 5, 30),
-		Bootstrap: repro.BootstrapConfig{Replicates: 800},
-	})
+func run(eng *repro.Engine, seq repro.Sequence, name string) []int {
+	st, err := eng.Open(name)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var alarms []int
 	fmt.Printf("%-10s", name)
 	for _, b := range seq {
-		p, err := det.Push(b)
+		p, err := st.Push(b)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,14 +73,26 @@ func main() {
 		seq[t] = repro.BagFromScalars(t, arWindow(rng, 400, phi, 1))
 	}
 
+	// One engine serves both pipelines as independent streams ("raw" and
+	// "whitened"), each with its own deterministic derived seed.
+	eng, err := repro.NewEngine(
+		repro.WithTau(5), repro.WithTauPrime(5),
+		repro.WithBuilderFactory(repro.HistogramFactory(-5, 5, 30)),
+		repro.WithBootstrap(repro.BootstrapConfig{Replicates: 800}),
+		repro.WithSeed(5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("30 windows; dynamics change at window %d (marginals identical)\n\n", changeAt)
-	rawAlarms := run(seq, "raw")
+	rawAlarms := run(eng, seq, "raw")
 
 	whitened, err := repro.Whiten(seq, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	whiteAlarms := run(whitened, "whitened")
+	whiteAlarms := run(eng, whitened, "whitened")
 
 	fmt.Printf("\nraw alarms:      %v\n", rawAlarms)
 	fmt.Printf("whitened alarms: %v\n", whiteAlarms)

@@ -82,30 +82,28 @@ func nonzero(xs []float64) []float64 {
 
 func main() {
 	rng := rand.New(rand.NewSource(23))
-	mk := func() *repro.Detector {
-		det, err := repro.NewDetector(repro.Config{
-			Tau:       5,
-			TauPrime:  3,
-			Builder:   repro.NewHistogramBuilder(0, 200, 32),
-			Bootstrap: repro.BootstrapConfig{Replicates: 600, Alpha: 0.05},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return det
+	// One engine, one detector stream per graph feature: both feature
+	// bags of a window ride through a single batch push, and each stream
+	// stays bit-identical to a standalone detector.
+	eng, err := repro.NewEngine(
+		repro.WithTau(5), repro.WithTauPrime(3),
+		repro.WithBuilderFactory(repro.HistogramFactory(0, 200, 32)),
+		repro.WithBootstrap(repro.BootstrapConfig{Replicates: 600, Alpha: 0.05}),
+		repro.WithSeed(23),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	detOut, detIn := mk(), mk()
 
 	const windows = 40
 	const changeAt = 25
 	fmt.Println("win   senders-feature   receivers-feature")
 	for t := 0; t < windows; t++ {
 		out, in := window(rng, t >= changeAt)
-		pOut, err := detOut.Push(repro.BagFromScalars(t, out))
-		if err != nil {
-			log.Fatal(err)
-		}
-		pIn, err := detIn.Push(repro.BagFromScalars(t, in))
+		results, err := eng.PushBatch([]repro.StreamBag{
+			{StreamID: "senders", Bag: repro.BagFromScalars(t, out)},
+			{StreamID: "receivers", Bag: repro.BagFromScalars(t, in)},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,7 +117,7 @@ func main() {
 			}
 			return fmt.Sprintf("%+7.3f  %s ", p.Score, mark)
 		}
-		fmt.Printf("%3d   %s       %s\n", t, row(pOut), row(pIn))
+		fmt.Printf("%3d   %s       %s\n", t, row(results[0].Point), row(results[1].Point))
 	}
 	fmt.Printf("\nFailover at window %d re-partitioned the traffic; the node-strength\n", changeAt)
 	fmt.Println("features (paper features 5 and 6) expose it even though every window")

@@ -26,7 +26,8 @@ func main() {
 		Tau:       5,
 		TauPrime:  3, // shorter test window: we want to react fast
 		Score:     repro.ScoreKL,
-		Builder:   repro.NewKMeansBuilder(8, 3),
+		Builder:   repro.KMeansFactory(8)(3), // one-off seeded builder from the stream-safe factory
+
 		Bootstrap: repro.BootstrapConfig{Replicates: 800, Alpha: 0.05},
 	})
 	if err != nil {

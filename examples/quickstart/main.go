@@ -1,4 +1,5 @@
-// Quickstart: detect a distribution change in a stream of bags.
+// Quickstart: detect a distribution change in a stream of bags, using
+// the Engine front-end (functional options, per-stream handles).
 //
 // Each "day" we observe a variable number of measurements (a bag). For
 // the first 15 days they come from N(0,1); afterwards from N(4,1). The
@@ -21,15 +22,23 @@ import (
 func main() {
 	rng := rand.New(rand.NewSource(42))
 
-	det, err := repro.NewDetector(repro.Config{
-		Tau:      5, // reference window: 5 bags
-		TauPrime: 5, // test window: 5 bags
-		Builder:  repro.NewHistogramBuilder(-8, 12, 40),
-		Bootstrap: repro.BootstrapConfig{
+	// The Engine is the front door: it owns pooled detector resources and
+	// hands out per-stream handles. One stream is the simplest use; see
+	// examples/server for many concurrent streams through PushBatch.
+	eng, err := repro.NewEngine(
+		repro.WithTau(5),      // reference window: 5 bags
+		repro.WithTauPrime(5), // test window: 5 bags
+		repro.WithBuilderFactory(repro.HistogramFactory(-8, 12, 40)),
+		repro.WithBootstrap(repro.BootstrapConfig{
 			Replicates: 1000,
 			Alpha:      0.05, // 95% confidence intervals
-		},
-	})
+		}),
+		repro.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := eng.Open("daily-measurements")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +56,7 @@ func main() {
 			values[i] = mean + rng.NormFloat64()
 		}
 
-		point, err := det.Push(repro.BagFromScalars(day, values))
+		point, err := st.Push(repro.BagFromScalars(day, values))
 		if err != nil {
 			log.Fatal(err)
 		}

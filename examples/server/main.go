@@ -1,0 +1,114 @@
+// Server front-end sketch: one Engine monitoring MANY concurrent
+// streams — the ROADMAP's "millions of users" shape at demo scale.
+//
+// 150 simulated sensors each emit one bag of readings per tick. A
+// central collector gathers every tick's bags into a single batch and
+// hands it to Engine.PushBatch, which fans the per-stream detector
+// updates across the worker group. A third of the sensors degrade at a
+// (per-sensor) time; the engine flags each one individually, and each
+// stream's verdict is bit-identical to what a dedicated standalone
+// detector for that sensor would have produced — worker count and batch
+// interleaving never change results.
+//
+// Run: go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro"
+)
+
+const (
+	sensors = 150
+	ticks   = 45
+)
+
+func main() {
+	eng, err := repro.NewEngine(
+		repro.WithTau(5), repro.WithTauPrime(4),
+		repro.WithBuilderFactory(repro.HistogramFactory(-6, 10, 32)),
+		repro.WithBootstrap(repro.BootstrapConfig{Replicates: 400}),
+		repro.WithSeed(2026),
+		// repro.WithWorkers(n) to bound the fan-out; default GOMAXPROCS.
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A third of the fleet drifts: mean shifts by +2.5 at a per-sensor
+	// failure time in the middle of the horizon.
+	rng := rand.New(rand.NewSource(99))
+	failAt := make(map[string]int)
+	for s := 0; s < sensors; s++ {
+		if s%3 == 0 {
+			failAt[sensorID(s)] = 18 + rng.Intn(10)
+		}
+	}
+
+	firstAlarm := make(map[string]int)
+	batch := make([]repro.StreamBag, sensors)
+	for tick := 0; tick < ticks; tick++ {
+		for s := 0; s < sensors; s++ {
+			id := sensorID(s)
+			mu := 0.0
+			if ft, failing := failAt[id]; failing && tick >= ft {
+				mu = 2.5
+			}
+			n := 30 + rng.Intn(30)
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = mu + rng.NormFloat64()
+			}
+			batch[s] = repro.StreamBag{StreamID: id, Bag: repro.BagFromScalars(tick, vals)}
+		}
+		results, err := eng.PushBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Point != nil && res.Point.Alarm {
+				if _, seen := firstAlarm[res.StreamID]; !seen {
+					firstAlarm[res.StreamID] = res.Point.T
+				}
+			}
+		}
+	}
+
+	// Score the fleet: how many failing sensors were flagged, how fast,
+	// and how many healthy sensors false-alarmed.
+	var flagged, missed, falsePos, delaySum int
+	var missedIDs []string
+	for s := 0; s < sensors; s++ {
+		id := sensorID(s)
+		alarm, alarmed := firstAlarm[id]
+		ft, failing := failAt[id]
+		switch {
+		case failing && alarmed && alarm >= ft-1:
+			flagged++
+			delaySum += alarm - ft
+		case failing:
+			missed++
+			missedIDs = append(missedIDs, id)
+		case alarmed:
+			falsePos++
+		}
+	}
+	sort.Strings(missedIDs)
+
+	fmt.Printf("%d sensors x %d ticks through one engine (%d streams open)\n\n",
+		sensors, ticks, eng.Len())
+	fmt.Printf("degraded sensors flagged:  %d/%d\n", flagged, len(failAt))
+	if flagged > 0 {
+		fmt.Printf("mean detection delay:      %.1f ticks\n", float64(delaySum)/float64(flagged))
+	}
+	fmt.Printf("healthy sensors flagged:   %d/%d\n", falsePos, sensors-len(failAt))
+	if missed > 0 {
+		fmt.Printf("missed:                    %v\n", missedIDs)
+	}
+}
+
+func sensorID(s int) string { return fmt.Sprintf("sensor-%03d", s) }

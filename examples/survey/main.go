@@ -28,8 +28,9 @@ func main() {
 		Tau:      4,
 		TauPrime: 4,
 		Score:    repro.ScoreKL,
-		// 2-D answers → k-means signatures with 6 clusters per wave.
-		Builder:   repro.NewKMeansBuilder(6, 1),
+		// 2-D answers → k-means signatures with 6 clusters per wave (a
+		// one-off seeded builder from the stream-safe factory).
+		Builder:   repro.KMeansFactory(6)(1),
 		Bootstrap: repro.BootstrapConfig{Replicates: 800, Alpha: 0.05},
 	})
 	if err != nil {

@@ -134,6 +134,28 @@ func NewSeededEstimator(seed int64) *Estimator {
 	return &Estimator{persistent: true, seedBase: seed}
 }
 
+// ResetStreams rewinds the estimator to the state NewSeededEstimator(seed)
+// would have: persistent shard streams at their initial positions for
+// seed, with all scratch buffers retained. Pooled detectors use this to
+// recycle a warm estimator for a new stream without reallocating its
+// shard RNGs — the subsequent interval sequence is bit-identical to a
+// freshly seeded estimator's. Calling it on a per-call estimator
+// (NewEstimator) converts it to persistent mode; in that case the
+// existing shard RNGs are discarded because the two modes use different
+// generator backends.
+func (e *Estimator) ResetStreams(seed int64) {
+	if !e.persistent {
+		// Per-call shards are xoshiro-backed while persistent streams are
+		// stdlib-backed; they cannot be rewound in place.
+		e.shards = nil
+		e.persistent = true
+	}
+	e.seedBase = seed
+	for k := range e.shards {
+		e.shards[k].rng.Reseed(randx.SplitSeed(seed, int64(k)))
+	}
+}
+
 var estimatorPool = sync.Pool{New: func() any { return NewEstimator() }}
 
 // ConfidenceInterval estimates the 100(1−α)% Bayesian-bootstrap interval

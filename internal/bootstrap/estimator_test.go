@@ -243,3 +243,59 @@ func TestConfidenceIntervalStatisticalSanityParallel(t *testing.T) {
 		t.Errorf("width = %g, want ≈ %g", iv.Width(), wantWidth)
 	}
 }
+
+// TestResetStreamsRewindsSeededEstimator: after ResetStreams(seed) a used
+// persistent estimator reproduces the exact interval sequence of a fresh
+// NewSeededEstimator(seed) — the property the detector pool relies on to
+// recycle warm estimators.
+func TestResetStreamsRewindsSeededEstimator(t *testing.T) {
+	base := []float64{0.5, 0.3, 0.2}
+	cfg := Config{Replicates: 300, Workers: 2}
+	sequence := func(e *Estimator, n int) []Interval {
+		out := make([]Interval, n)
+		for i := range out {
+			iv, err := e.Interval(pureScore, base, base, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = iv
+		}
+		return out
+	}
+
+	e := NewSeededEstimator(7)
+	first := sequence(e, 4)
+	e.ResetStreams(7)
+	if second := sequence(e, 4); !slicesEqualIntervals(first, second) {
+		t.Fatalf("reset to same seed diverged: %+v vs %+v", first, second)
+	}
+
+	// Rebinding to a different seed matches a fresh estimator of that seed.
+	e.ResetStreams(11)
+	want := sequence(NewSeededEstimator(11), 4)
+	if got := sequence(e, 4); !slicesEqualIntervals(got, want) {
+		t.Fatalf("reset to new seed diverged from fresh estimator: %+v vs %+v", got, want)
+	}
+
+	// A per-call estimator converts cleanly to persistent mode.
+	p := NewEstimator()
+	if _, err := p.Interval(pureScore, base, base, cfg, randx.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStreams(7)
+	if got := sequence(p, 4); !slicesEqualIntervals(got, first) {
+		t.Fatalf("converted estimator diverged: %+v vs %+v", got, first)
+	}
+}
+
+func slicesEqualIntervals(a, b []Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bag"
 	"repro/internal/bootstrap"
@@ -102,7 +103,10 @@ type Config struct {
 	Seed int64
 }
 
-func (c Config) validate() error {
+// validateCommon checks every Config field except Builder. The Engine
+// validates its per-stream template with it at construction, before any
+// stream (and hence any factory-built Builder) exists.
+func (c Config) validateCommon() error {
 	if c.Tau < 1 {
 		return fmt.Errorf("core: Tau must be >= 1, got %d", c.Tau)
 	}
@@ -114,6 +118,13 @@ func (c Config) validate() error {
 	}
 	if c.Score != ScoreKL && c.Score != ScoreLR {
 		return fmt.Errorf("core: unknown score type %d", c.Score)
+	}
+	return nil
+}
+
+func (c Config) validate() error {
+	if err := c.validateCommon(); err != nil {
+		return err
 	}
 	if c.Builder == nil {
 		return fmt.Errorf("core: Builder is required")
@@ -153,6 +164,7 @@ type Detector struct {
 	win     infoest.Window       // current inspection window, rebuilt per inspect
 	scoreFn bootstrap.ScoreFunc  // closure over win, built once
 	spare   []float64            // recycled log-distance row from the last slide
+	rowPool [][]float64          // rows salvaged by Reset, reused while refilling
 }
 
 // New validates cfg and returns a ready Detector.
@@ -227,6 +239,12 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 	// Append the new signature and its distances to the retained ones.
 	row := d.spare
 	d.spare = nil
+	if row == nil {
+		if n := len(d.rowPool); n > 0 {
+			row = d.rowPool[n-1]
+			d.rowPool = d.rowPool[:n-1]
+		}
+	}
 	if cap(row) < len(d.window)+1 {
 		row = make([]float64, 0, w)
 	}
@@ -285,6 +303,45 @@ func (d *Detector) inspect() (*Point, error) {
 	return p, nil
 }
 
+// Reset rewinds the detector to its freshly-constructed state while
+// retaining every internal buffer: the signature window and distance
+// matrix are emptied (their backing arrays kept for reuse), the alarm
+// history is cleared, and the bootstrap shard streams are rewound to
+// their initial position for Config.Seed. A warm detector that is Reset
+// and refed therefore produces bit-identical Points to a brand-new
+// New(cfg) detector, with zero steady-state allocations.
+//
+// The Builder is NOT reset — a stateful builder (k-means, k-medoids)
+// keeps its RNG position, so full bit-identity after Reset additionally
+// requires a stateless builder or a fresh one from a BuilderFactory (the
+// Engine's detector pool always supplies a fresh builder when it
+// recycles a detector).
+func (d *Detector) Reset() { d.reset(d.cfg.Builder, d.cfg.Seed) }
+
+// reset is Reset plus rebinding the per-stream identity: the Engine's
+// detector pool recycles a detector for a new stream by swapping in that
+// stream's builder and seed.
+func (d *Detector) reset(builder signature.Builder, seed int64) {
+	d.cfg.Builder = builder
+	d.cfg.Seed = seed
+	for i := range d.window {
+		d.window[i] = signature.Signature{}
+	}
+	d.window = d.window[:0]
+	for i := range d.logD {
+		d.rowPool = append(d.rowPool, d.logD[i][:0])
+		d.logD[i] = nil
+	}
+	d.logD = d.logD[:0]
+	if d.spare != nil {
+		d.rowPool = append(d.rowPool, d.spare[:0])
+		d.spare = nil
+	}
+	d.count = 0
+	clear(d.history)
+	d.est.ResetStreams(seed)
+}
+
 // Run processes a whole sequence through a fresh detector and returns
 // every produced Point in time order.
 func Run(cfg Config, seq bag.Sequence) ([]Point, error) {
@@ -331,9 +388,11 @@ func Scores(points []Point) []float64 {
 // The n(n−1)/2 distance computations are independent and run on all
 // available CPUs; the result is deterministic regardless of scheduling.
 func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground, rawMass bool) ([][]float64, error) {
-	// Signature construction stays sequential: builders may hold state
-	// (e.g. a shared RNG for k-means seeding) and their draw order is
-	// part of the reproducibility contract.
+	// Signature construction stays sequential: a caller-supplied Builder
+	// may hold state (e.g. a shared RNG for k-means seeding) and its draw
+	// order is part of the reproducibility contract. Callers who can
+	// provide a BuilderFactory instead should pre-build signatures with
+	// signature.BuildSequenceParallel, which splits per-bag RNG streams.
 	sigs, err := signature.BuildSequence(builder, seq)
 	if err != nil {
 		return nil, err
@@ -361,6 +420,11 @@ func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground,
 	var wg sync.WaitGroup
 	errOnce := sync.Once{}
 	var firstErr error
+	// failed cancels the remaining work after the first error: the
+	// producer stops enqueueing and the workers drain what is already
+	// queued without computing it, so a failing matrix returns promptly
+	// instead of finishing all n(n−1)/2 distances first.
+	var failed atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -369,11 +433,15 @@ func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground,
 			// once per worker instead of once per distance.
 			sv := emd.NewSolver()
 			for p := range jobs {
+				if failed.Load() {
+					continue
+				}
 				dist, err := sv.Distance(sigs[p.i], sigs[p.j], ground)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("core: EMD(%d,%d): %w", p.i, p.j, err)
 					})
+					failed.Store(true)
 					continue
 				}
 				// Distinct cells per job: no locking needed.
@@ -382,8 +450,12 @@ func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground,
 			}
 		}()
 	}
+produce:
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if failed.Load() {
+				break produce
+			}
 			jobs <- pair{i, j}
 		}
 	}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bag"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// builderSeedTag keys the derivation of a stream's builder seed from its
+// stream seed. It is negative so it can never collide with the bootstrap
+// shard streams, which are derived from the same stream seed with
+// non-negative shard indices.
+const builderSeedTag = -1
+
+// EngineConfig parameterizes an Engine.
+type EngineConfig struct {
+	// Template holds the per-stream detector parameters (Tau, TauPrime,
+	// Score, Weighting, Ground, Bootstrap, LogFloor, RawMass). Its
+	// Builder field must be nil — per-stream builders come from Factory —
+	// and its Seed field is ignored in favour of the engine Seed. A zero
+	// Bootstrap.Workers defaults to 1: the engine parallelizes across
+	// streams, so nesting per-detector bootstrap parallelism underneath
+	// would only oversubscribe the CPUs (the bootstrap result is
+	// bit-identical either way).
+	Template Config
+	// Factory builds each stream's signature builder from the stream's
+	// derived seed. Required.
+	Factory signature.BuilderFactory
+	// Seed is the engine base seed from which every per-stream seed is
+	// split.
+	Seed int64
+	// Workers bounds the goroutines PushBatch fans streams across;
+	// 0 selects GOMAXPROCS. Worker count never affects output.
+	Workers int
+}
+
+// Engine is the multi-stream front-end over the single-stream Detector.
+//
+// The paper's detector is inherently per-stream, but a service monitors
+// many independent streams at once (one per user, sensor, or service).
+// An Engine owns the resources those streams share — a pool of recycled
+// detectors (each carrying its warm EMD solver and bootstrap scratch)
+// and a bounded worker group for batch pushes — and hands out
+// lightweight Stream handles. Determinism is preserved per stream: every
+// stream's detector is seeded with randx.SplitSeedString(engineSeed,
+// streamID) and gets its own factory-built signature builder, so its
+// output is bit-identical to a standalone Detector constructed from
+// StreamConfig(streamID), independent of batch composition, worker
+// count, or which pooled detector happens to serve it.
+//
+// Create with NewEngine; obtain per-stream handles with Open or feed
+// many streams at once with PushBatch.
+//
+// Concurrency: Open, Close and Len are safe for concurrent use.
+// Detector state is owned by the stream, so pushes to the SAME stream
+// must be serialized by the caller — concurrent PushBatch calls (or a
+// PushBatch concurrent with Stream.Push) are safe only when they touch
+// disjoint stream sets. Within one PushBatch call the engine itself
+// serializes all bags of a stream in input order.
+type Engine struct {
+	cfg EngineConfig
+
+	mu      sync.Mutex
+	streams map[string]*Stream
+	free    []*Detector // closed streams' detectors, warm and ready to recycle
+}
+
+// NewEngine validates cfg and returns an Engine with no open streams.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("core: EngineConfig.Factory is required")
+	}
+	if cfg.Template.Builder != nil {
+		return nil, fmt.Errorf("core: EngineConfig.Template.Builder must be nil; per-stream builders come from Factory")
+	}
+	if err := cfg.Template.validateCommon(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Template.Bootstrap.Workers == 0 {
+		cfg.Template.Bootstrap.Workers = 1
+	}
+	return &Engine{cfg: cfg, streams: make(map[string]*Stream)}, nil
+}
+
+// StreamConfig returns the exact detector Config the engine uses for
+// stream id: the template with Seed = SplitSeedString(engineSeed, id)
+// and a fresh factory-built Builder seeded from that stream seed. A
+// standalone New(eng.StreamConfig(id)) detector fed the same bags
+// produces bit-identical Points to the engine's stream — this is the
+// engine's reproducibility contract, and the form in which it is tested.
+func (e *Engine) StreamConfig(id string) Config {
+	seed := randx.SplitSeedString(e.cfg.Seed, id)
+	cfg := e.cfg.Template
+	cfg.Seed = seed
+	cfg.Builder = e.cfg.Factory(randx.SplitSeed(seed, builderSeedTag))
+	return cfg
+}
+
+// Open returns the handle for stream id, creating the stream on first
+// use. Opening recycles a pooled detector when one is free (rebinding it
+// to the stream's seed and builder); otherwise it constructs one. Open
+// is idempotent: a second Open of a live id returns the same handle.
+func (e *Engine) Open(id string) (*Stream, error) {
+	if id == "" {
+		return nil, fmt.Errorf("core: stream id must be non-empty")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.streams[id]; ok {
+		return st, nil
+	}
+	cfg := e.StreamConfig(id)
+	if cfg.Builder == nil {
+		// Checked on both paths: the recycle branch below bypasses New's
+		// validation, and a factory returning nil must fail here, not as a
+		// nil dereference on the stream's first Push.
+		return nil, fmt.Errorf("core: builder factory returned nil for stream %q", id)
+	}
+	var det *Detector
+	if n := len(e.free); n > 0 {
+		det = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		det.reset(cfg.Builder, cfg.Seed)
+	} else {
+		var err error
+		det, err = New(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := &Stream{eng: e, id: id, det: det}
+	e.streams[id] = st
+	return st, nil
+}
+
+// Len returns the number of open streams.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.streams)
+}
+
+// Stream is a lightweight handle on one detector stream owned by an
+// Engine. It is not safe for concurrent use (see Engine).
+type Stream struct {
+	eng *Engine
+	id  string
+	det *Detector
+}
+
+// ID returns the stream identifier passed to Open.
+func (s *Stream) ID() string { return s.id }
+
+// Push feeds the stream's next bag, exactly like Detector.Push. It
+// returns an error after Close.
+func (s *Stream) Push(b bag.Bag) (*Point, error) {
+	if s.det == nil {
+		return nil, fmt.Errorf("core: stream %q is closed", s.id)
+	}
+	return s.det.Push(b)
+}
+
+// Close releases the stream and recycles its detector (window buffers,
+// EMD solver and bootstrap scratch) into the engine's pool for the next
+// Open. Close is idempotent; a later Open of the same id starts the
+// stream from scratch, bit-identical to its first life.
+func (s *Stream) Close() {
+	e := s.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.det == nil {
+		return
+	}
+	delete(e.streams, s.id)
+	e.free = append(e.free, s.det)
+	s.det = nil
+}
+
+// StreamBag addresses one bag to one stream for PushBatch.
+type StreamBag struct {
+	StreamID string
+	Bag      bag.Bag
+}
+
+// StreamResult is PushBatch's per-bag outcome, parallel to the input
+// batch. Point is nil while the stream's window is still filling (just
+// like Detector.Push) and on error.
+type StreamResult struct {
+	StreamID string
+	Point    *Point
+	Err      error
+}
+
+// PushBatch feeds every bag of batch to its stream, fanning independent
+// streams across the engine's worker group while preserving, for each
+// stream, the input order of its bags. Streams are opened on first use.
+// The result slice is parallel to batch; each stream's results are
+// bit-identical to pushing the same bags through that stream one by one,
+// regardless of Workers or how the batch interleaves streams.
+//
+// Errors stay per-stream: a failing bag records its error, the stream's
+// later bags in this batch are skipped (their Err wraps the failure),
+// and all other streams proceed. The returned error is the first
+// per-bag error in batch order, nil if every bag succeeded.
+func (e *Engine) PushBatch(batch []StreamBag) ([]StreamResult, error) {
+	results := make([]StreamResult, len(batch))
+
+	// Group the batch by stream, preserving first-appearance order and
+	// per-stream bag order. Streams are opened (or created) up front on
+	// the calling goroutine; the fan-out below never touches the engine
+	// lock.
+	type group struct {
+		st   *Stream
+		idxs []int
+	}
+	index := make(map[string]int)
+	var groups []group
+	for i, sb := range batch {
+		results[i].StreamID = sb.StreamID
+		gi, ok := index[sb.StreamID]
+		if !ok {
+			st, err := e.Open(sb.StreamID)
+			if err != nil {
+				index[sb.StreamID] = -1
+				results[i].Err = err
+				continue
+			}
+			gi = len(groups)
+			groups = append(groups, group{st: st})
+			index[sb.StreamID] = gi
+		}
+		if gi < 0 {
+			results[i].Err = fmt.Errorf("core: stream %q could not be opened", sb.StreamID)
+			continue
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+
+	run := func(g *group) {
+		var failed error
+		for _, i := range g.idxs {
+			if failed != nil {
+				results[i].Err = fmt.Errorf("core: stream %q: bag skipped after earlier error in batch: %w", g.st.id, failed)
+				continue
+			}
+			p, err := g.st.det.Push(batch[i].Bag)
+			results[i].Point = p
+			if err != nil {
+				results[i].Err = err
+				failed = err
+			}
+		}
+	}
+
+	workers := e.cfg.Workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for gi := range groups {
+			run(&groups[gi])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					gi := int(next.Add(1)) - 1
+					if gi >= len(groups) {
+						return
+					}
+					run(&groups[gi])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil {
+			firstErr = results[i].Err
+			break
+		}
+	}
+	return results, firstErr
+}

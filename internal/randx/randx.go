@@ -89,6 +89,25 @@ func SplitSeed(seed, id int64) int64 {
 	return int64(z & math.MaxInt64)
 }
 
+// SplitSeedString derives an independent sub-seed from (seed, id) for
+// string-keyed shards: the id is hashed with FNV-1a 64 and the result
+// mixed through SplitSeed. Like SplitSeed it is a pure function, so a
+// multi-stream engine can derive each stream's seed from a single engine
+// seed and the stream's name, independent of how many streams exist or
+// in what order they are opened.
+func SplitSeedString(seed int64, id string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return SplitSeed(seed, int64(h))
+}
+
 // Split derives an independent RNG from r, keyed by id. It is used to give
 // each subsystem of an experiment (data generation, bootstrap, …) its own
 // stream so adding draws to one does not perturb the others.

@@ -1,6 +1,7 @@
 package randx
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -148,6 +149,28 @@ func TestDirichletExpFastPathMatchesGamma(t *testing.T) {
 		wantVar := float64(k-1) / float64(k*k*(k+1))
 		if math.Abs(variance-wantVar) > 0.15*wantVar {
 			t.Errorf("%s path: variance %g, want ~%g", name, variance, wantVar)
+		}
+	}
+}
+
+func TestSplitSeedString(t *testing.T) {
+	// Pure function: same (seed, id) → same sub-seed.
+	if SplitSeedString(7, "user-42") != SplitSeedString(7, "user-42") {
+		t.Fatal("SplitSeedString is not deterministic")
+	}
+	// Distinct ids and distinct base seeds give distinct streams.
+	seen := map[int64]string{}
+	for _, seed := range []int64{0, 1, 7} {
+		for _, id := range []string{"", "a", "b", "ab", "ba", "user-1", "user-2"} {
+			s := SplitSeedString(seed, id)
+			if s < 0 {
+				t.Fatalf("SplitSeedString(%d, %q) = %d, want non-negative", seed, id, s)
+			}
+			key := fmt.Sprintf("%d/%s", seed, id)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
 		}
 	}
 }

@@ -1,0 +1,117 @@
+package signature
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bag"
+	"repro/internal/randx"
+)
+
+// reseeder is the optional fast path for BuildSequenceParallel: builders
+// that can rewind their RNG in place (k-means, k-medoids) let each worker
+// keep a single builder and reseed it per bag instead of constructing a
+// fresh one.
+type reseeder interface {
+	Reseed(seed int64)
+}
+
+// BuildSequenceParallel builds one signature per bag like BuildSequence,
+// but with an explicit per-bag RNG stream so the bags can be summarized
+// concurrently: bag i is built by a builder seeded with
+// randx.SplitSeed(seed, i). The output is a pure function of (factory,
+// seed, seq) — bit-identical for every workers value, including the
+// sequential workers == 1 path. workers <= 0 selects GOMAXPROCS.
+//
+// Note the contract difference from BuildSequence: a single stateful
+// builder consumes one RNG stream across all bags, so for k-means or
+// k-medoids factories the two functions produce different (but equally
+// valid) signatures. For deterministic builders (histogram, grid,
+// online) the outputs are identical.
+//
+// On failure the error of one failing bag is returned (which one is
+// scheduling-dependent when several fail concurrently); the remaining
+// bags are abandoned as soon as the first failure is observed.
+func BuildSequenceParallel(factory BuilderFactory, seed int64, seq bag.Sequence, workers int) ([]Signature, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("signature: BuildSequenceParallel requires a factory")
+	}
+	n := len(seq)
+	out := make([]Signature, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// buildOne summarizes bag i on a worker-owned builder (reseeding it
+	// when supported, otherwise constructing a fresh one per bag).
+	buildOne := func(b Builder, rs reseeder, i int) error {
+		bagSeed := randx.SplitSeed(seed, int64(i))
+		bi := b
+		if rs != nil {
+			rs.Reseed(bagSeed)
+		} else {
+			bi = factory(bagSeed)
+		}
+		s, err := bi.Build(seq[i])
+		if err != nil {
+			return fmt.Errorf("bag %d: %w", i, err)
+		}
+		out[i] = s
+		return nil
+	}
+
+	newWorkerBuilder := func() (Builder, reseeder) {
+		b := factory(0)
+		rs, _ := b.(reseeder)
+		return b, rs
+	}
+
+	if workers <= 1 {
+		b, rs := newWorkerBuilder()
+		for i := 0; i < n; i++ {
+			if err := buildOne(b, rs, i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, workers)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			b, rs := newWorkerBuilder()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := buildOne(b, rs, i); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package signature
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/cluster"
+	"repro/internal/randx"
+)
+
+func parallelTestSeq(n int) bag.Sequence {
+	rng := randx.New(77)
+	seq := make(bag.Sequence, n)
+	for i := range seq {
+		pts := make([][]float64, 30+rng.Intn(20))
+		for j := range pts {
+			pts[j] = []float64{rng.Normal(float64(i%5), 1), rng.Normal(0, 2)}
+		}
+		seq[i] = bag.New(i, pts)
+	}
+	return seq
+}
+
+// TestBuildSequenceParallelBitIdentity: the parallel build is a pure
+// function of (factory, seed, seq) — every worker count, including the
+// sequential workers=1 reference, yields bit-identical signatures.
+func TestBuildSequenceParallelBitIdentity(t *testing.T) {
+	seq := parallelTestSeq(24)
+	// (The grid builder emits map-ordered centers, so it is compared as a
+	// weighted set in the stateless test below instead of bit-for-bit.)
+	factories := map[string]BuilderFactory{
+		"kmeans":   KMeansFactory(4, cluster.Config{MaxIters: 20}),
+		"kmedoids": KMedoidsFactory(3, cluster.Config{MaxIters: 15}),
+	}
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			want, err := BuildSequenceParallel(factory, 9, seq, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8, 0} {
+				got, err := BuildSequenceParallel(factory, 9, seq, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: signatures differ from sequential build", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildSequenceParallelPerBagStreams: bag i must be summarized
+// exactly as a fresh factory(SplitSeed(seed, i)) builder would — the
+// reseeding fast path may not change the derived streams.
+func TestBuildSequenceParallelPerBagStreams(t *testing.T) {
+	seq := parallelTestSeq(10)
+	factory := KMeansFactory(4, cluster.Config{MaxIters: 20})
+	got, err := BuildSequenceParallel(factory, 13, seq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range seq {
+		want, err := factory(randx.SplitSeed(13, int64(i))).Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("bag %d differs from fresh per-bag builder", i)
+		}
+	}
+}
+
+// TestBuildSequenceParallelMatchesSequentialForStateless: for a
+// deterministic builder the parallel build equals plain BuildSequence.
+func TestBuildSequenceParallelMatchesSequentialForStateless(t *testing.T) {
+	seq := parallelTestSeq(16)
+	factory := GridFactory([]float64{-6, -8}, []float64{12, 8}, 5)
+	want, err := BuildSequence(factory(0), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildSequenceParallel(factory, 3, seq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid signatures iterate a map, so center order is not canonical;
+	// compare as weighted sets.
+	for i := range want {
+		if !sameWeightedSet(got[i], want[i]) {
+			t.Fatalf("bag %d differs between BuildSequence and BuildSequenceParallel", i)
+		}
+	}
+}
+
+func sameWeightedSet(a, b Signature) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	am := map[string]float64{}
+	bm := map[string]float64{}
+	for i, c := range a.Centers {
+		am[fmt.Sprint(c)] += a.Weights[i]
+	}
+	for i, c := range b.Centers {
+		bm[fmt.Sprint(c)] += b.Weights[i]
+	}
+	return reflect.DeepEqual(am, bm)
+}
+
+// TestBuildSequenceParallelError: a failing bag aborts the build with a
+// bag-indexed error for every worker count.
+func TestBuildSequenceParallelError(t *testing.T) {
+	seq := parallelTestSeq(8)
+	seq[5] = bag.Bag{T: 5} // empty bag
+	for _, workers := range []int{1, 4} {
+		if _, err := BuildSequenceParallel(KMeansFactory(3, cluster.Config{}), 1, seq, workers); err == nil {
+			t.Fatalf("workers=%d: expected error for empty bag", workers)
+		}
+	}
+}
+
+// TestBuilderReseedMatchesFresh: Reseed rewinds a used builder to the
+// exact stream of a freshly constructed one.
+func TestBuilderReseedMatchesFresh(t *testing.T) {
+	seq := parallelTestSeq(6)
+	used := NewKMeansBuilder(4, cluster.Config{MaxIters: 20}, randx.New(1))
+	for _, b := range seq {
+		if _, err := used.Build(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used.Reseed(99)
+	fresh := NewKMeansBuilder(4, cluster.Config{MaxIters: 20}, randx.New(99))
+	for i, b := range seq {
+		got, err := used.Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("bag %d: reseeded builder diverges from fresh builder", i)
+		}
+	}
+}

@@ -110,10 +110,66 @@ func (s Signature) Mean() []float64 {
 }
 
 // A Builder turns a bag into a signature.
+//
+// Determinism contract: a Builder may hold mutable state (the k-means
+// and k-medoids builders consume draws from their RNG on every Build),
+// so its output is a function of the whole call sequence, not of the
+// single bag. Sharing one stateful Builder between detectors or
+// goroutines silently couples their signature streams and destroys
+// per-detector reproducibility. Components that need one independent
+// builder per stream, per bag, or per worker take a BuilderFactory
+// instead and derive each builder's seed with randx.SplitSeed.
 type Builder interface {
 	// Build summarizes b. It returns an error for bags it cannot
 	// summarize (e.g. empty bags).
 	Build(b bag.Bag) (Signature, error)
+}
+
+// A BuilderFactory constructs a fresh Builder whose randomness (if any)
+// is driven entirely by seed. Factories are the stream-safe way to hand
+// builders to concurrent components: every call returns a builder with
+// its own RNG state, two calls with the same seed return builders with
+// identical behaviour, and the factory itself must be safe for
+// concurrent calls. Builders for deterministic summaries (histogram,
+// grid, online quantization) may ignore the seed and even return a
+// shared instance, provided Build is stateless and concurrency-safe.
+type BuilderFactory func(seed int64) Builder
+
+// KMeansFactory returns a factory of independently seeded k-means
+// builders: factory(seed) behaves exactly like
+// NewKMeansBuilder(k, cfg, randx.New(seed)).
+func KMeansFactory(k int, cfg cluster.Config) BuilderFactory {
+	return func(seed int64) Builder { return NewKMeansBuilder(k, cfg, randx.New(seed)) }
+}
+
+// KMedoidsFactory returns a factory of independently seeded k-medoids
+// builders.
+func KMedoidsFactory(k int, cfg cluster.Config) BuilderFactory {
+	return func(seed int64) Builder { return NewKMedoidsBuilder(k, cfg, randx.New(seed)) }
+}
+
+// OnlineFactory returns a factory of online quantizer builders. The
+// online builder is deterministic and stateless across Build calls, so
+// the seed is ignored.
+func OnlineFactory(k int, rate0 float64) BuilderFactory {
+	return func(int64) Builder { return NewOnlineBuilder(k, rate0) }
+}
+
+// HistogramFactory returns a factory for the 1-D histogram builder. The
+// builder is deterministic and stateless, so one shared instance serves
+// every seed. Invalid parameters panic at factory construction, not at
+// first use.
+func HistogramFactory(lo, hi float64, bins int) BuilderFactory {
+	hb := NewHistogramBuilder(lo, hi, bins)
+	return func(int64) Builder { return hb }
+}
+
+// GridFactory returns a factory for the d-D grid builder; like
+// HistogramFactory it validates eagerly and shares one stateless
+// instance.
+func GridFactory(lo, hi []float64, bins int) BuilderFactory {
+	gb := NewGridBuilder(lo, hi, bins)
+	return func(int64) Builder { return gb }
 }
 
 // KMeansBuilder quantizes bags with k-means (§3.1). The zero value is not
@@ -143,6 +199,12 @@ func (kb *KMeansBuilder) Build(b bag.Bag) (Signature, error) {
 	return fromClusterResult(res), nil
 }
 
+// Reseed rewinds the builder's RNG to the stream a fresh builder
+// constructed with randx.New(seed) would produce. BuildSequenceParallel
+// uses this to re-derive a per-bag stream on a worker-owned builder
+// without allocating a new one.
+func (kb *KMeansBuilder) Reseed(seed int64) { kb.rng.Reseed(seed) }
+
 // KMedoidsBuilder quantizes bags with k-medoids.
 type KMedoidsBuilder struct {
 	k   int
@@ -166,6 +228,10 @@ func (kb *KMedoidsBuilder) Build(b bag.Bag) (Signature, error) {
 	}
 	return fromClusterResult(res), nil
 }
+
+// Reseed rewinds the builder's RNG to the stream of randx.New(seed); see
+// (*KMeansBuilder).Reseed.
+func (kb *KMedoidsBuilder) Reseed(seed int64) { kb.rng.Reseed(seed) }
 
 // OnlineBuilder quantizes bags with one-pass competitive learning
 // (unsupervised LVQ), suitable for very large bags.

@@ -21,19 +21,40 @@
 //     an adaptive threshold that suppresses false alarms under noise
 //     and drift.
 //
-// Quick start:
+// Quick start — an Engine owns shared resources (pooled detectors with
+// their warm EMD/bootstrap scratch, a bounded worker group) and hands
+// out per-stream handles:
 //
-//	det, err := repro.NewDetector(repro.Config{
-//		Tau: 5, TauPrime: 5,
-//		Builder: repro.NewHistogramBuilder(-10, 10, 40),
-//	})
+//	eng, err := repro.NewEngine(
+//		repro.WithTau(5), repro.WithTauPrime(5),
+//		repro.WithBuilderFactory(repro.HistogramFactory(-10, 10, 40)),
+//		repro.WithSeed(1),
+//	)
 //	...
+//	st, err := eng.Open("sensor-42")
 //	for t, values := range stream {
-//		point, err := det.Push(repro.BagFromScalars(t, values))
+//		point, err := st.Push(repro.BagFromScalars(t, values))
 //		if point != nil && point.Alarm {
 //			// significant change at time point.T
 //		}
 //	}
+//
+// Many concurrent streams go through the batch entry point, which fans
+// independent streams across workers while keeping every stream's output
+// bit-identical to a standalone detector (each stream's RNG streams are
+// split deterministically from the engine seed and its id):
+//
+//	results, err := eng.PushBatch([]repro.StreamBag{
+//		{StreamID: "user-1", Bag: bag1},
+//		{StreamID: "user-2", Bag: bag2},
+//		...
+//	})
+//
+// Randomized signature builders are supplied as factories
+// (KMeansFactory, KMedoidsFactory, …) rather than instances, so every
+// stream gets its own deterministic builder instead of aliasing shared
+// RNG state. The single-stream Detector API (NewDetector, Run) remains
+// for simple pipelines and experiment drivers.
 //
 // The experiment drivers behind every figure of the paper live in
 // cmd/repro; see EXPERIMENTS.md for the reproduction log.
@@ -49,7 +70,6 @@ import (
 	"repro/internal/featsel"
 	"repro/internal/innovate"
 	"repro/internal/mds"
-	"repro/internal/randx"
 	"repro/internal/signature"
 )
 
@@ -71,17 +91,63 @@ type Signature = signature.Signature
 // Builder converts bags into signatures.
 type Builder = signature.Builder
 
+// BuilderFactory constructs a fresh Builder for a given seed. Factories
+// are the stream-safe way to configure randomized signature builders:
+// every detector stream gets its own builder with its own RNG, and two
+// factory calls with the same seed yield identical behaviour. See the
+// determinism contract on Builder in internal/signature.
+type BuilderFactory = signature.BuilderFactory
+
+// KMeansFactory returns a factory of independently seeded k-means
+// builders (k-means++ seeding, at most k clusters per bag).
+func KMeansFactory(k int) BuilderFactory {
+	return signature.KMeansFactory(k, cluster.Config{})
+}
+
+// KMedoidsFactory returns a factory of independently seeded k-medoids
+// builders (medoids are data points; robust to outliers).
+func KMedoidsFactory(k int) BuilderFactory {
+	return signature.KMedoidsFactory(k, cluster.Config{})
+}
+
+// OnlineFactory returns a factory of online (LVQ-style) quantizer
+// builders; the builder is deterministic, so the seed is ignored.
+func OnlineFactory(k int, rate float64) BuilderFactory {
+	return signature.OnlineFactory(k, rate)
+}
+
+// HistogramFactory returns a factory for the 1-D histogram builder over
+// [lo, hi) with the given bin count (deterministic; the seed is
+// ignored). Invalid parameters panic at factory construction.
+func HistogramFactory(lo, hi float64, bins int) BuilderFactory {
+	return signature.HistogramFactory(lo, hi, bins)
+}
+
+// GridFactory returns a factory for the d-D grid builder with bins cells
+// per dimension (deterministic; the seed is ignored).
+func GridFactory(lo, hi []float64, bins int) BuilderFactory {
+	return signature.GridFactory(lo, hi, bins)
+}
+
 // NewKMeansBuilder quantizes each bag with k-means (k-means++ seeding)
 // into at most k clusters. The seed makes signature construction
 // reproducible.
+//
+// Deprecated: the returned Builder holds one RNG, so sharing it between
+// detectors couples their signature streams and silently breaks
+// per-detector reproducibility. Use KMeansFactory with an Engine (or
+// call KMeansFactory(k)(seed) for a one-off builder — this function is
+// now exactly that, so single-detector behaviour is unchanged).
 func NewKMeansBuilder(k int, seed int64) Builder {
-	return signature.NewKMeansBuilder(k, cluster.Config{}, randx.New(seed))
+	return KMeansFactory(k)(seed)
 }
 
 // NewKMedoidsBuilder quantizes each bag with k-medoids (medoids are data
 // points; robust to outliers).
+//
+// Deprecated: see NewKMeansBuilder; use KMedoidsFactory instead.
 func NewKMedoidsBuilder(k int, seed int64) Builder {
-	return signature.NewKMedoidsBuilder(k, cluster.Config{}, randx.New(seed))
+	return KMedoidsFactory(k)(seed)
 }
 
 // NewOnlineBuilder quantizes each bag in one pass with competitive
@@ -166,6 +232,106 @@ func NewDetector(cfg Config) (*Detector, error) { return core.New(cfg) }
 
 // Run processes an entire sequence through a fresh detector.
 func Run(cfg Config, seq Sequence) ([]Point, error) { return core.Run(cfg, seq) }
+
+// --- Multi-stream engine -----------------------------------------------------
+
+// Engine manages many concurrent detector streams over a pool of shared,
+// recycled resources. See NewEngine and the package quick start.
+type Engine = core.Engine
+
+// Stream is a handle on one detector stream owned by an Engine.
+type Stream = core.Stream
+
+// StreamBag addresses one bag to one stream for Engine.PushBatch.
+type StreamBag = core.StreamBag
+
+// StreamResult is Engine.PushBatch's per-bag outcome.
+type StreamResult = core.StreamResult
+
+// An Option configures an Engine at construction.
+type Option struct {
+	apply func(cfg *core.EngineConfig)
+}
+
+// WithTau sets the reference window length τ (required, >= 1).
+func WithTau(tau int) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.Tau = tau }}
+}
+
+// WithTauPrime sets the test window length τ′ (required, >= 1; >= 2 for
+// ScoreLR).
+func WithTauPrime(tauPrime int) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.TauPrime = tauPrime }}
+}
+
+// WithScore selects the change-point score (default ScoreKL).
+func WithScore(s ScoreType) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.Score = s }}
+}
+
+// WithWeighting selects the base weights of the window signatures
+// (default WeightUniform).
+func WithWeighting(w Weighting) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.Weighting = w }}
+}
+
+// WithBuilderFactory sets the signature builder factory (required).
+// Every stream's builder is created from the factory with a seed split
+// from the engine seed and the stream id.
+func WithBuilderFactory(f BuilderFactory) Option {
+	return Option{func(c *core.EngineConfig) { c.Factory = f }}
+}
+
+// WithGround sets the EMD ground distance (default Euclidean, with its
+// exact 1-D fast path).
+func WithGround(g Ground) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.Ground = g }}
+}
+
+// WithBootstrap configures the Bayesian-bootstrap confidence intervals.
+// A zero Workers field defaults to 1 inside an engine: parallelism comes
+// from fanning streams across the engine's workers, and the bootstrap
+// result is bit-identical regardless.
+func WithBootstrap(bc BootstrapConfig) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.Bootstrap = bc }}
+}
+
+// WithLogFloor clamps distances before taking logs (0 selects the
+// default floor).
+func WithLogFloor(floor float64) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.LogFloor = floor }}
+}
+
+// WithRawMass keeps raw cluster counts as signature masses, enabling the
+// partial-matching EMD between bags of different sizes.
+func WithRawMass(raw bool) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.RawMass = raw }}
+}
+
+// WithSeed sets the engine base seed. Each stream gets the derived seed
+// randx.SplitSeedString(seed, streamID), so per-stream output is a
+// deterministic function of (seed, stream id, pushed bags) only —
+// independent of how many streams exist or in what order they open.
+func WithSeed(seed int64) Option {
+	return Option{func(c *core.EngineConfig) { c.Seed = seed }}
+}
+
+// WithWorkers bounds the goroutines PushBatch fans streams across
+// (default GOMAXPROCS). Worker count never affects output.
+func WithWorkers(n int) Option {
+	return Option{func(c *core.EngineConfig) { c.Workers = n }}
+}
+
+// NewEngine builds an Engine from functional options and validates the
+// resulting configuration: WithTau, WithTauPrime and WithBuilderFactory
+// are required, everything else has the same defaults as Config.
+func NewEngine(opts ...Option) (*Engine, error) {
+	var cfg core.EngineConfig
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return core.NewEngine(cfg)
+}
 
 // Alarms extracts the inspection times with raised alarms.
 func Alarms(points []Point) []int { return core.Alarms(points) }

@@ -268,3 +268,145 @@ func TestSegmentsFacade(t *testing.T) {
 		t.Fatalf("Segments = %v", segs)
 	}
 }
+
+// TestEngineFacade drives the multi-stream engine exactly as the package
+// quick start does: options-built engine, per-stream handles, and the
+// batch entry point, with per-stream output matching a standalone
+// detector built from the same derived config.
+func TestEngineFacade(t *testing.T) {
+	newEng := func() *Engine {
+		eng, err := NewEngine(
+			WithTau(3), WithTauPrime(3),
+			WithBuilderFactory(HistogramFactory(-10, 10, 30)),
+			WithBootstrap(BootstrapConfig{Replicates: 150}),
+			WithSeed(21),
+			WithWorkers(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	mkBag := func(id string, ts int) Bag {
+		rng := randx.New(randx.SplitSeedString(5, id) + int64(ts))
+		mu := 0.0
+		if ts >= 7 {
+			mu = 5
+		}
+		vals := make([]float64, 50)
+		for i := range vals {
+			vals[i] = rng.Normal(mu, 1)
+		}
+		return BagFromScalars(ts, vals)
+	}
+
+	ids := []string{"alpha", "beta", "gamma"}
+	eng := newEng()
+	got := map[string][]*Point{}
+	for ts := 0; ts < 14; ts++ {
+		batch := make([]StreamBag, len(ids))
+		for i, id := range ids {
+			batch[i] = StreamBag{StreamID: id, Bag: mkBag(id, ts)}
+		}
+		results, err := eng.PushBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Point != nil {
+				got[r.StreamID] = append(got[r.StreamID], r.Point)
+			}
+		}
+	}
+	if eng.Len() != len(ids) {
+		t.Fatalf("engine has %d streams, want %d", eng.Len(), len(ids))
+	}
+
+	// Standalone detectors from the engine's own per-stream config must
+	// reproduce each stream bit-for-bit.
+	for _, id := range ids {
+		det, err := NewDetector(newEng().StreamConfig(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*Point
+		for ts := 0; ts < 14; ts++ {
+			p, err := det.Push(mkBag(id, ts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p != nil {
+				want = append(want, p)
+			}
+		}
+		if len(got[id]) != len(want) {
+			t.Fatalf("stream %s: %d points, want %d", id, len(got[id]), len(want))
+		}
+		for i := range want {
+			if got[id][i].T != want[i].T || got[id][i].Score != want[i].Score ||
+				got[id][i].Interval != want[i].Interval || got[id][i].Alarm != want[i].Alarm {
+				t.Fatalf("stream %s point %d: %+v != %+v", id, i, *got[id][i], *want[i])
+			}
+		}
+		// Every stream saw the mean shift at t=5.
+		var alarms []int
+		for _, p := range got[id] {
+			if p.Alarm {
+				alarms = append(alarms, p.T)
+			}
+		}
+		if m := MatchAlarms(alarms, []int{7}, 1, 3); m.Recall() != 1 {
+			t.Errorf("stream %s: change not detected: %v", id, m)
+		}
+	}
+}
+
+// TestNewEngineOptionValidation: option mistakes fail at construction.
+func TestNewEngineOptionValidation(t *testing.T) {
+	if _, err := NewEngine(WithTau(3), WithTauPrime(3)); err == nil {
+		t.Error("missing builder factory should fail")
+	}
+	if _, err := NewEngine(WithBuilderFactory(HistogramFactory(0, 1, 4))); err == nil {
+		t.Error("missing tau should fail")
+	}
+	if _, err := NewEngine(
+		WithTau(3), WithTauPrime(1), WithScore(ScoreLR),
+		WithBuilderFactory(HistogramFactory(0, 1, 4)),
+	); err == nil {
+		t.Error("ScoreLR with TauPrime < 2 should fail")
+	}
+}
+
+// TestDeprecatedBuildersUnchanged: the deprecated seed-taking builder
+// constructors now route through the factories and must behave exactly
+// as a direct factory call.
+func TestDeprecatedBuildersUnchanged(t *testing.T) {
+	pts := make([][]float64, 40)
+	rng := randx.New(3)
+	for i := range pts {
+		pts[i] = []float64{rng.Normal(0, 1), rng.Normal(2, 1)}
+	}
+	b := NewBag(0, pts)
+	old, err := NewKMeansBuilder(4, 9).Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFactory, err := KMeansFactory(4)(9).Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Centers) != len(viaFactory.Centers) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(old.Centers), len(viaFactory.Centers))
+	}
+	for i := range old.Centers {
+		for j := range old.Centers[i] {
+			if old.Centers[i][j] != viaFactory.Centers[i][j] {
+				t.Fatal("deprecated builder diverged from factory")
+			}
+		}
+		if old.Weights[i] != viaFactory.Weights[i] {
+			t.Fatal("deprecated builder weights diverged from factory")
+		}
+	}
+}
