@@ -11,6 +11,8 @@ package repro
 
 import (
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bag"
@@ -528,6 +530,121 @@ func BenchmarkPairwiseEMD20(b *testing.B) {
 		}
 	}
 }
+
+// --- Tiled vs. flat pairwise at corpus scale -------------------------------
+
+// flatPairwiseEMD is the seed-era flat implementation (one channel job
+// per pair, [][]float64 result), kept in the bench file as the baseline
+// the tiled engine is measured against. It matches what core.PairwiseEMD
+// was before the tiled rewrite; BENCH_PR3.json records the comparison.
+func flatPairwiseEMD(sigs []signature.Signature, ground emd.Ground) ([][]float64, error) {
+	n := len(sigs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	type pair struct{ i, j int }
+	jobs := make(chan pair, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sv := emd.NewSolver()
+			for p := range jobs {
+				if failed.Load() {
+					continue
+				}
+				dist, err := sv.Distance(sigs[p.i], sigs[p.j], ground)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					continue
+				}
+				m[p.i][p.j] = dist
+				m[p.j][p.i] = dist
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			jobs <- pair{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// pairwiseBenchCorpus builds the n-bag benchmark corpus: 1-D
+// latency-style bags summarized by a 40-bin histogram, the workload
+// where per-pair solver time is smallest and scheduling overhead is
+// most visible.
+func pairwiseBenchCorpus(n int) bag.Sequence {
+	rng := randx.New(64)
+	seq := make(bag.Sequence, n)
+	for t := range seq {
+		mu := float64(4 * t / n)
+		vals := make([]float64, 80)
+		for i := range vals {
+			vals[i] = rng.Normal(mu, 1)
+		}
+		seq[t] = bag.FromScalars(t, vals)
+	}
+	return seq
+}
+
+func benchmarkPairwiseFlat(b *testing.B, n int) {
+	// Build signatures inside the loop, as the seed-era PairwiseEMD did
+	// (sequential stateful-builder path) — both variants then time the
+	// whole bags→matrix pipeline.
+	seq := pairwiseBenchCorpus(n)
+	hb := signature.NewHistogramBuilder(-6, 12, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigs, err := signature.BuildSequence(hb, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range sigs {
+			sigs[j] = sigs[j].Normalized()
+		}
+		if _, err := flatPairwiseEMD(sigs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkPairwiseTiled(b *testing.B, n int) {
+	seq := pairwiseBenchCorpus(n)
+	factory := signature.HistogramFactory(-6, 12, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Pairwise(seq, core.WithPairBuilderFactory(factory, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairwiseFlat64(b *testing.B)   { benchmarkPairwiseFlat(b, 64) }
+func BenchmarkPairwiseTiled64(b *testing.B)  { benchmarkPairwiseTiled(b, 64) }
+func BenchmarkPairwiseFlat256(b *testing.B)  { benchmarkPairwiseFlat(b, 256) }
+func BenchmarkPairwiseTiled256(b *testing.B) { benchmarkPairwiseTiled(b, 256) }
+func BenchmarkPairwiseFlat512(b *testing.B)  { benchmarkPairwiseFlat(b, 512) }
+func BenchmarkPairwiseTiled512(b *testing.B) { benchmarkPairwiseTiled(b, 512) }
 
 // BenchmarkMDSEmbed times the classical MDS embedding of a 20×20 matrix.
 func BenchmarkMDSEmbed(b *testing.B) {

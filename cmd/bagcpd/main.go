@@ -34,6 +34,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -115,7 +116,14 @@ func main() {
 			fmt.Fprintf(out, "%s,%d,%g,%g,%g,%s,%t\n",
 				id, p.T, p.Score, p.Interval.Lo, p.Interval.Up, kappaString(p.Kappa), p.Alarm)
 		}); err != nil {
-			fatalf("%v", err)
+			// Rows emitted before the failure (including the failing
+			// batch's healthy streams) must reach stdout: os.Exit skips the
+			// deferred Flush.
+			out.Flush()
+			for _, line := range strings.Split(err.Error(), "\n") {
+				fmt.Fprintf(os.Stderr, "bagcpd: %s\n", line)
+			}
+			os.Exit(2)
 		}
 		return
 	}
@@ -151,6 +159,7 @@ func main() {
 		fatalf("unknown -format %q (want jsonl or csv)", *format)
 	}
 	if pushErr != nil {
+		out.Flush() // rows before the failing bag must survive os.Exit
 		fatalf("%v", pushErr)
 	}
 }
@@ -162,10 +171,49 @@ func kappaString(kappa float64) string {
 	return strconv.FormatFloat(kappa, 'g', -1, 64)
 }
 
+// streamsError is the failure report of a -streams run. The engine's
+// batch push keeps errors per-stream — when one bag of a stream fails,
+// that stream's later bags in the batch are skipped while every other
+// stream proceeds — and before this type existed the CLI silently
+// discarded all of that: the skipped bags produced no output, no count,
+// and the run died with only the first error, never naming how much of
+// which stream was dropped. streamsError carries the failing stream and
+// the per-stream skip census so main can put both on stderr before
+// exiting non-zero.
+type streamsError struct {
+	// Stream is the id of the stream whose bag failed first (batch order).
+	Stream string
+	// Err is that first per-bag error.
+	Err error
+	// Skipped counts, per stream, the bags of the failing batch that
+	// produced no output: the failing bag itself plus the stream's later
+	// bags the engine skipped.
+	Skipped map[string]int
+}
+
+func (e *streamsError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream %q: %v", e.Stream, e.Err)
+	ids := make([]string, 0, len(e.Skipped))
+	for id := range e.Skipped {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "\nstream %q: %d bag(s) skipped without output", id, e.Skipped[id])
+	}
+	return b.String()
+}
+
+func (e *streamsError) Unwrap() error { return e.Err }
+
 // readJSONLStreams reads multiplexed jsonl ({"stream": id, "points":
 // [...]}), assigns each stream its own bag clock in line order, and
 // feeds the engine in batches. emit sees one call per inspection point,
-// in input order within the batch.
+// in input order within the batch. A per-bag failure aborts the run
+// with a *streamsError naming the failing stream and counting every
+// skipped bag per stream; the other streams' results from the failing
+// batch are still emitted first.
 func readJSONLStreams(r io.Reader, eng *repro.Engine, batchSize int, emit func(string, *repro.Point)) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
@@ -182,7 +230,20 @@ func readJSONLStreams(r io.Reader, eng *repro.Engine, batchSize int, emit func(s
 			}
 		}
 		buf = buf[:0]
-		return err
+		if err != nil {
+			serr := &streamsError{Err: err, Skipped: make(map[string]int)}
+			for _, res := range results {
+				if res.Err == nil {
+					continue
+				}
+				if serr.Stream == "" {
+					serr.Stream = res.StreamID
+				}
+				serr.Skipped[res.StreamID]++
+			}
+			return serr
+		}
+		return nil
 	}
 	lineNo := 0
 	for sc.Scan() {

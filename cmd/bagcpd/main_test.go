@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -142,6 +143,71 @@ func TestReadJSONLStreams(t *testing.T) {
 					t.Fatalf("batch=%d stream=%s point %d differs: %+v vs %+v", batch, id, i, g, w)
 				}
 			}
+		}
+	}
+}
+
+// TestReadJSONLStreamsPoisonedStream is the regression test for the
+// silent-drop bug: one stream of a multiplexed batch fails mid-run, and
+// the reader must (a) still emit the healthy streams' points from that
+// batch, (b) name the failing stream, and (c) count every skipped bag
+// per stream — instead of dying with only the first error while the
+// skipped bags vanish without a trace.
+func TestReadJSONLStreamsPoisonedStream(t *testing.T) {
+	// Stream b's second bag is empty (unsummarizable); its later bags in
+	// the same batch must be counted as skipped. Stream a is healthy and
+	// reaches its single inspection point at t=2.
+	input := `{"stream":"a","points":[[1],[2],[3]]}
+{"stream":"b","points":[[5],[6]]}
+{"stream":"a","points":[[1.5],[2.5]]}
+{"stream":"b","points":[]}
+{"stream":"a","points":[[0],[1],[2]]}
+{"stream":"b","points":[[5],[7]]}
+{"stream":"a","points":[[5],[6]]}
+{"stream":"b","points":[[0],[1]]}
+`
+	eng, err := repro.NewEngine(
+		repro.WithTau(2), repro.WithTauPrime(2),
+		repro.WithBuilderFactory(repro.HistogramFactory(-10, 10, 10)),
+		repro.WithBootstrap(repro.BootstrapConfig{Replicates: 50}),
+		repro.WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]*repro.Point{}
+	err = readJSONLStreams(strings.NewReader(input), eng, 256, func(id string, p *repro.Point) {
+		got[id] = append(got[id], p)
+	})
+	if err == nil {
+		t.Fatal("poisoned stream must fail the run")
+	}
+	var serr *streamsError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error is %T, want *streamsError: %v", err, err)
+	}
+	if serr.Stream != "b" {
+		t.Errorf("failing stream = %q, want \"b\"", serr.Stream)
+	}
+	// The empty bag plus b's two later bags in the batch: 3 skipped.
+	if serr.Skipped["b"] != 3 {
+		t.Errorf("skipped[b] = %d, want 3 (failing bag + 2 later bags)", serr.Skipped["b"])
+	}
+	if serr.Skipped["a"] != 0 {
+		t.Errorf("skipped[a] = %d, want 0 (healthy stream)", serr.Skipped["a"])
+	}
+	// Healthy stream a still produced its inspection point.
+	if len(got["a"]) != 1 || got["a"][0].T != 2 {
+		t.Errorf("stream a points = %+v, want one point at T=2", got["a"])
+	}
+	if len(got["b"]) != 0 {
+		t.Errorf("stream b emitted %d points despite failing before its window filled", len(got["b"]))
+	}
+	// The rendered report names the stream and the skip counts.
+	msg := err.Error()
+	for _, want := range []string{`stream "b"`, "3 bag(s) skipped"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error report %q missing %q", msg, want)
 		}
 	}
 }

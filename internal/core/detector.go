@@ -18,8 +18,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bag"
 	"repro/internal/bootstrap"
@@ -385,84 +383,23 @@ func Scores(points []Point) []float64 {
 // PairwiseEMD builds signatures for every bag of seq and returns the full
 // symmetric EMD matrix between them (used by the Fig. 6 EMD heatmaps and
 // the MDS embeddings). Signatures are normalized unless rawMass is true.
-// The n(n−1)/2 distance computations are independent and run on all
-// available CPUs; the result is deterministic regardless of scheduling.
+//
+// It is a thin shim over the tiled engine (Pairwise) preserving the
+// seed-era surface and output bit-for-bit: signature construction stays
+// sequential because a caller-supplied Builder may hold state (a shared
+// RNG for k-means seeding) whose draw order is part of the
+// reproducibility contract. Callers who can provide a BuilderFactory
+// should use Pairwise with WithPairBuilderFactory instead, which builds
+// signatures in parallel from per-bag split seeds and supports
+// multi-host sharding via PairwiseShard/MergePairwise.
 func PairwiseEMD(builder signature.Builder, seq bag.Sequence, ground emd.Ground, rawMass bool) ([][]float64, error) {
-	// Signature construction stays sequential: a caller-supplied Builder
-	// may hold state (e.g. a shared RNG for k-means seeding) and its draw
-	// order is part of the reproducibility contract. Callers who can
-	// provide a BuilderFactory instead should pre-build signatures with
-	// signature.BuildSequenceParallel, which splits per-bag RNG streams.
-	sigs, err := signature.BuildSequence(builder, seq)
+	m, err := Pairwise(seq,
+		WithPairBuilder(builder),
+		WithPairGround(ground),
+		WithPairRawMass(rawMass),
+	)
 	if err != nil {
 		return nil, err
 	}
-	if !rawMass {
-		for i := range sigs {
-			sigs[i] = sigs[i].Normalized()
-		}
-	}
-	n := len(sigs)
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-	}
-
-	type pair struct{ i, j int }
-	jobs := make(chan pair, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	errOnce := sync.Once{}
-	var firstErr error
-	// failed cancels the remaining work after the first error: the
-	// producer stops enqueueing and the workers drain what is already
-	// queued without computing it, so a failing matrix returns promptly
-	// instead of finishing all n(n−1)/2 distances first.
-	var failed atomic.Bool
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns a Solver: all simplex scratch is allocated
-			// once per worker instead of once per distance.
-			sv := emd.NewSolver()
-			for p := range jobs {
-				if failed.Load() {
-					continue
-				}
-				dist, err := sv.Distance(sigs[p.i], sigs[p.j], ground)
-				if err != nil {
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("core: EMD(%d,%d): %w", p.i, p.j, err)
-					})
-					failed.Store(true)
-					continue
-				}
-				// Distinct cells per job: no locking needed.
-				m[p.i][p.j] = dist
-				m[p.j][p.i] = dist
-			}
-		}()
-	}
-produce:
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if failed.Load() {
-				break produce
-			}
-			jobs <- pair{i, j}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return m, nil
+	return m.Rows(), nil
 }

@@ -79,16 +79,41 @@ func Distance1D(s, t signature.Signature) (float64, error) {
 	if s.Dim() != 1 || t.Dim() != 1 {
 		return 0, fmt.Errorf("emd: Distance1D needs 1-D signatures, got %d-D and %d-D", s.Dim(), t.Dim())
 	}
+	ws, wt := s.TotalWeight(), t.TotalWeight()
+	if !positiveTotal(ws) || !positiveTotal(wt) {
+		return 0, fmt.Errorf("emd: Distance1D needs positive finite totals, got %g and %g", ws, wt)
+	}
 	if !balanced(s, t) {
-		return 0, fmt.Errorf("emd: Distance1D needs equal totals, got %g and %g", s.TotalWeight(), t.TotalWeight())
+		return 0, fmt.Errorf("emd: Distance1D needs equal totals, got %g and %g", ws, wt)
 	}
 	sv := solverPool.Get().(*Solver)
 	defer solverPool.Put(sv)
 	return sv.distance1D(s, t), nil
 }
 
+// positiveTotal reports whether a signature's total mass is usable by the
+// closed-form 1-D path, which divides by it: positive and finite (NaN
+// fails every comparison, so it is rejected too).
+func positiveTotal(w float64) bool {
+	return w > 0 && !math.IsInf(w, 0)
+}
+
+// balanced reports whether the two signatures' totals are equal within
+// tolerance; see balancedTotals for the zero/NaN guard.
 func balanced(s, t signature.Signature) bool {
-	ws, wt := s.TotalWeight(), t.TotalWeight()
+	return balancedTotals(s.TotalWeight(), t.TotalWeight())
+}
+
+// balancedTotals reports whether the two totals are equal within
+// tolerance. Zero, NaN, or infinite totals are never balanced: before
+// this guard, two zero-total signatures satisfied |0−0| <= 1e-9·0 and
+// were routed to the closed form, which would divide by zero and return
+// a meaningless value instead of an error. Unusable totals now fall
+// through to the simplex path, whose prepare step rejects them properly.
+func balancedTotals(ws, wt float64) bool {
+	if !positiveTotal(ws) || !positiveTotal(wt) {
+		return false
+	}
 	return math.Abs(ws-wt) <= 1e-9*math.Max(ws, wt)
 }
 

@@ -132,6 +132,59 @@ func TestDistance1DErrors(t *testing.T) {
 	}
 }
 
+// TestDistance1DZeroTotalGuard is the regression test for the balanced()
+// hole: two zero-total signatures satisfied |0−0| <= 1e-9·0 and were
+// treated as balanced, so the closed form divided by zero instead of
+// erroring. Zero and NaN totals must surface as errors from Distance1D
+// and must never select the 1-D fast path in the solver dispatch.
+func TestDistance1DZeroTotalGuard(t *testing.T) {
+	zero := sig1d([]float64{0, 1}, []float64{0, 0})
+	one := sig1d([]float64{0}, []float64{1})
+	if _, err := Distance1D(zero, zero); err == nil {
+		t.Error("Distance1D(zero, zero): expected error, not a closed-form 0")
+	}
+	if _, err := Distance1D(zero, one); err == nil {
+		t.Error("Distance1D(zero, one): expected error")
+	}
+	nan := sig1d([]float64{0}, []float64{math.NaN()})
+	if _, err := Distance1D(nan, nan); err == nil {
+		t.Error("Distance1D(NaN, NaN): expected error")
+	}
+	if _, err := Distance(zero, zero, nil); err == nil {
+		t.Error("Distance(zero, zero): expected error")
+	}
+}
+
+// TestBalancedRejectsUnusableTotals pins the dispatch guard itself:
+// balanced() is what routes Solver.Distance onto the closed form, so it
+// must reject totals the closed form cannot divide by even for inputs
+// that slipped past (or bypassed) Validate.
+func TestBalancedRejectsUnusableTotals(t *testing.T) {
+	zero := sig1d([]float64{0}, []float64{0})
+	nan := sig1d([]float64{0}, []float64{math.NaN()})
+	inf := sig1d([]float64{0, 1}, []float64{math.MaxFloat64, math.MaxFloat64})
+	ok := sig1d([]float64{0}, []float64{1})
+	cases := []struct {
+		name string
+		s, t signature.Signature
+	}{
+		{"zero-zero", zero, zero},
+		{"zero-ok", zero, ok},
+		{"ok-zero", ok, zero},
+		{"nan-nan", nan, nan},
+		{"nan-ok", nan, ok},
+		{"inf-inf", inf, inf},
+	}
+	for _, c := range cases {
+		if balanced(c.s, c.t) {
+			t.Errorf("balanced(%s) = true; unusable totals must never take the closed form", c.name)
+		}
+	}
+	if !balanced(ok, ok) {
+		t.Error("balanced(ok, ok) = false; guard broke the normal path")
+	}
+}
+
 func TestZeroWeightEntriesIgnored(t *testing.T) {
 	s := sig1d([]float64{0, 55}, []float64{1, 0})
 	u := sig1d([]float64{2}, []float64{1})

@@ -62,6 +62,51 @@ type Solver struct {
 // retained for subsequent calls.
 func NewSolver() *Solver { return &Solver{} }
 
+// Prewarm grows every scratch buffer the solver needs for transportation
+// problems with up to k sources and k sinks (plus the balancing dummy
+// row/column), and the event buffer of the 1-D closed-form path, so even
+// the solver's FIRST Distance call runs without allocating. Batch
+// drivers that hand one Solver to each worker (e.g. the tiled pairwise
+// matrix) call Prewarm(maxSignatureLen) once per worker instead of
+// paying the growth allocations lazily inside the timed region. k <= 0
+// is a no-op; Prewarm never shrinks.
+func (sv *Solver) Prewarm(k int) {
+	if k <= 0 {
+		return
+	}
+	m := k + 1 // + dummy row
+	n := k + 1 // + dummy column
+	nb := m + n - 1
+	sv.srcIdx = growInts(sv.srcIdx, k)
+	sv.dstIdx = growInts(sv.dstIdx, k)
+	sv.supply = growFloats(sv.supply, m)
+	sv.demand = growFloats(sv.demand, n)
+	sv.cost = growFloats(sv.cost, m*n)
+	sv.basisI = growInts(sv.basisI, nb)
+	sv.basisJ = growInts(sv.basisJ, nb)
+	sv.basisF = growFloats(sv.basisF, nb)
+	sv.rowHead = growInts(sv.rowHead, m)
+	sv.colHead = growInts(sv.colHead, n)
+	sv.rowNext = growInts(sv.rowNext, nb)
+	sv.colNext = growInts(sv.colNext, nb)
+	sv.u = growFloats(sv.u, m)
+	sv.v = growFloats(sv.v, n)
+	sv.uSet = growBools(sv.uSet, m)
+	sv.vSet = growBools(sv.vSet, n)
+	if cap(sv.queue) < m+n {
+		sv.queue = make([]int, 0, m+n)
+	}
+	sv.parent = growInts(sv.parent, m+n)
+	sv.visited = growBools(sv.visited, m+n)
+	if cap(sv.path) < nb {
+		sv.path = make([]int, 0, nb)
+	}
+	sv.cand = growInts(sv.cand, m)
+	if cap(sv.events) < 2*k {
+		sv.events = make([]ev1d, 2*k)
+	}
+}
+
 var solverPool = sync.Pool{New: func() any { return NewSolver() }}
 
 // euclideanPtr identifies the Euclidean ground function so Distance can
@@ -85,8 +130,28 @@ func (sv *Solver) Distance(s, t signature.Signature, g Ground) (float64, error) 
 	if err := validatePair(s, t); err != nil {
 		return 0, err
 	}
-	if s.Dim() == 1 && balanced(s, t) && euclideanGround(g) {
-		return sv.distance1D(s, t), nil
+	return sv.distance(s, t, g)
+}
+
+// DistanceValidated is Distance minus the per-call input validation, for
+// batch drivers that have already run signature.Validate on every input
+// and checked that the dimensions match (the tiled pairwise matrix
+// validates each of its n signatures once instead of 2(n−1) times).
+// The computed value is bit-identical to Distance; passing inputs that
+// would not survive Distance's validation is undefined behaviour (e.g.
+// negative weights are silently dropped rather than rejected).
+func (sv *Solver) DistanceValidated(s, t signature.Signature, g Ground) (float64, error) {
+	return sv.distance(s, t, g)
+}
+
+// distance dispatches a validated pair onto the closed form or the
+// simplex.
+func (sv *Solver) distance(s, t signature.Signature, g Ground) (float64, error) {
+	if s.Dim() == 1 && euclideanGround(g) {
+		ws, wt := s.TotalWeight(), t.TotalWeight()
+		if balancedTotals(ws, wt) {
+			return sv.distance1DTotals(s, t, ws, wt), nil
+		}
 	}
 	if g == nil {
 		g = Euclidean
@@ -165,12 +230,19 @@ func validatePair(s, t signature.Signature) error {
 
 // distance1D is the closed-form balanced 1-D path on reusable buffers.
 func (sv *Solver) distance1D(s, t signature.Signature) float64 {
+	return sv.distance1DTotals(s, t, s.TotalWeight(), t.TotalWeight())
+}
+
+// distance1DTotals is distance1D with the (already summed) totals passed
+// in: the dispatch computes them for the balance check, and re-summing
+// the same weights would produce the identical floats anyway — this just
+// skips two O(K) sweeps per pair on the hot path.
+func (sv *Solver) distance1DTotals(s, t signature.Signature, totS, totT float64) float64 {
 	ln := s.Len() + t.Len()
 	if cap(sv.events) < ln {
 		sv.events = make([]ev1d, ln)
 	}
 	events := sv.events[:ln]
-	totS, totT := s.TotalWeight(), t.TotalWeight()
 	for i, c := range s.Centers {
 		events[i] = ev1d{c[0], s.Weights[i] / totS}
 	}

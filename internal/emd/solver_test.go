@@ -494,6 +494,63 @@ func TestWarmSolverDistanceZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestPrewarmedSolverFirstDistanceZeroAllocs guards the Prewarm hook:
+// a freshly constructed Solver that is Prewarmed for the problem size
+// must not allocate even on its FIRST Distance call — that is the whole
+// point of the hook for per-worker solvers in batch drivers. Each run
+// consumes a brand-new prewarmed solver so every measured call is a
+// first call (AllocsPerRun's internal warm-up run included).
+func TestPrewarmedSolverFirstDistanceZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	const maxLen = 24
+	rng := randx.New(9)
+	s2 := randomSig(rng, 2, maxLen, 1)
+	u2 := randomSig(rng, 2, maxLen, 1)
+	s1 := randomSig(rng, 1, maxLen, 1)
+	u1 := randomSig(rng, 1, maxLen, 1)
+
+	const runs = 20
+	fresh := make([]*Solver, 0, 2*(runs+1)+2)
+	for i := 0; i < cap(fresh); i++ {
+		sv := NewSolver()
+		sv.Prewarm(maxLen)
+		fresh = append(fresh, sv)
+	}
+	next := 0
+	take := func() *Solver { sv := fresh[next]; next++; return sv }
+
+	if allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := take().Distance(s2, u2, Euclidean); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("first Distance (simplex) after Prewarm: %g allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := take().Distance(s1, u1, Euclidean); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("first Distance (1-D fast path) after Prewarm: %g allocs/op, want 0", allocs)
+	}
+
+	// Prewarm must not perturb results: a prewarmed solver and the pooled
+	// package function agree bit-for-bit.
+	want, err := Distance(s2, u2, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := take().Distance(s2, u2, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("prewarmed solver Distance = %g, pooled = %g", got, want)
+	}
+}
+
 // TestPooledDistanceSteadyStateAllocs guards the package-level wrapper:
 // after warmup the sync.Pool rental must not allocate either.
 func TestPooledDistanceSteadyStateAllocs(t *testing.T) {

@@ -54,6 +54,13 @@ func kmeansBuilder(k int, rng *randx.RNG) signature.Builder {
 	return signature.NewKMeansBuilder(k, cluster.Config{MaxIters: 25}, rng)
 }
 
+// kmeansFactory is the stream-safe counterpart of kmeansBuilder: drivers
+// that build signatures in parallel (the tiled pairwise matrix) take a
+// factory so every bag gets its own split-seeded builder.
+func kmeansFactory(k int) signature.BuilderFactory {
+	return signature.KMeansFactory(k, cluster.Config{MaxIters: 25})
+}
+
 // seriesOf extracts aligned slices (times, scores, CI bounds) from
 // detector output for plotting and evaluation.
 func seriesOf(points []core.Point) (times []int, scores, lo, hi []float64) {

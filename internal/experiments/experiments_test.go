@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/bipartite"
+	"repro/internal/core"
 	"repro/internal/enron"
+	"repro/internal/randx"
+	"repro/internal/synth"
 )
 
 func TestFig1ReproducesTheClaim(t *testing.T) {
@@ -208,5 +211,102 @@ func TestAblation(t *testing.T) {
 	}
 	if !strings.Contains(res.Report, "Ablation studies") {
 		t.Error("report missing")
+	}
+}
+
+// TestFig6MatrixDeterministicAcrossWorkers guards the fig6 migration off
+// the stateful-builder path: the dissimilarity matrix is built through
+// the k-means factory with per-bag split seeds, so it must be
+// bit-identical for every worker count (the old path threaded one shared
+// RNG through every build and was tied to sequential order).
+func TestFig6MatrixDeterministicAcrossWorkers(t *testing.T) {
+	const seed = 2
+	for _, ds := range synth.AllSection51()[:2] {
+		rng := randx.New(seed)
+		seq, err := ds.Generate(rng.Split(int64(ds)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := fig6EMDMatrix(seq, seed, ds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			m, err := fig6EMDMatrix(seq, seed, ds, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.N() != ref.N() {
+				t.Fatalf("ds %v: size %d vs %d", ds, m.N(), ref.N())
+			}
+			for i := 0; i < m.N(); i++ {
+				for j := 0; j < m.N(); j++ {
+					if m.At(i, j) != ref.At(i, j) {
+						t.Fatalf("ds %v workers=%d: cell (%d,%d) = %g, want %g", ds, workers, i, j, m.At(i, j), ref.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFig6Deterministic: the whole experiment (matrix, MDS, detector,
+// report) is a pure function of its seed.
+func TestFig6Deterministic(t *testing.T) {
+	a, err := Fig6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report != b.Report {
+		t.Error("Fig6 report differs between identical runs")
+	}
+}
+
+func TestPairwiseScale(t *testing.T) {
+	opts := PairwiseScaleOptions{N: 32, PointsPerBag: 20, TileSize: 8}
+	res, err := PairwiseScale(5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BitIdentical {
+		t.Error("worker count changed the matrix")
+	}
+	if !res.ShardMergeIdentical {
+		t.Error("2-shard merge differs from single-process matrix")
+	}
+	if !strings.Contains(res.Report, "Pairwise EMD at corpus scale") {
+		t.Error("report missing")
+	}
+}
+
+// TestPairwiseShardMergeFlow drives the same path as the
+// `repro -exp pairwise -shard i/k` → `-merge` CLI: three shard partials
+// computed independently (as three processes would) merge into a matrix
+// the merge report verifies against a single-process run.
+func TestPairwiseShardMergeFlow(t *testing.T) {
+	opts := PairwiseScaleOptions{N: 24, PointsPerBag: 15, TileSize: 5}
+	const shards = 3
+	parts := make([]*core.PartialMatrix, shards)
+	for s := 0; s < shards; s++ {
+		p, err := PairwiseShardPartial(5, opts, s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[s] = p
+	}
+	report, err := PairwiseMergeReport(5, opts, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "bit-identical to single-process matrix: true") {
+		t.Errorf("merge report does not confirm bit-identity:\n%s", report)
+	}
+	// Dropping a shard must fail loudly, not zero-fill.
+	if _, err := PairwiseMergeReport(5, opts, parts[:2]); err == nil {
+		t.Error("merge with a missing shard must error")
 	}
 }

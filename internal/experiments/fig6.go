@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bag"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/mds"
@@ -35,6 +36,20 @@ type Fig6Result struct {
 	Report   string
 }
 
+// fig6EMDMatrix computes one dataset's 20×20 dissimilarity matrix on the
+// tiled pairwise engine. Signatures are built through the k-means
+// FACTORY with per-bag split seeds — not the old stateful-builder path,
+// where a single shared RNG threaded through every build and tied the
+// matrix to sequential build order. The matrix is therefore a pure
+// function of (seed, ds, seq): bit-identical for every workers value
+// (0 selects GOMAXPROCS), which the experiments tests assert.
+func fig6EMDMatrix(seq bag.Sequence, seed int64, ds synth.Section51Dataset, workers int) (*core.PairwiseMatrix, error) {
+	return core.Pairwise(seq,
+		core.WithPairBuilderFactory(kmeansFactory(8), randx.SplitSeed(seed, 100+int64(ds))),
+		core.WithPairWorkers(workers),
+	)
+}
+
 // Fig6 runs the five confidence-interval behaviour studies of §5.1
 // (τ = τ′ = 5, 20 bags of ~Poisson(50) 2-D points each).
 func Fig6(seed int64) (*Fig6Result, error) {
@@ -47,10 +62,11 @@ func Fig6(seed int64) (*Fig6Result, error) {
 		}
 		builder := kmeansBuilder(8, rng.Split(100+int64(ds)))
 
-		emdMat, err := core.PairwiseEMD(builder, seq, nil, false)
+		mat, err := fig6EMDMatrix(seq, seed, ds, 0)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %v EMD matrix: %w", ds, err)
 		}
+		emdMat := mat.Rows()
 		coords, _, err := mds.Embed(emdMat, 2)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %v MDS: %w", ds, err)

@@ -356,6 +356,13 @@ func (gb *GridBuilder) Build(b bag.Bag) (Signature, error) {
 		center []float64
 	}
 	cells := map[string]*cell{}
+	// Cells are emitted in first-occupied order, which is a deterministic
+	// function of the bag: iterating the map directly would permute the
+	// signature entries per call, and while EMD is mathematically
+	// invariant to entry order, the simplex pivot order (and hence the
+	// floating-point rounding) is not — bit-identity contracts depend on
+	// a stable order.
+	var order []*cell
 	key := make([]byte, 0, d*4)
 	idx := make([]int, d)
 	for _, p := range b.Points {
@@ -381,14 +388,15 @@ func (gb *GridBuilder) Build(b bag.Bag) (Signature, error) {
 			}
 			c = &cell{center: center}
 			cells[string(key)] = c
+			order = append(order, c)
 		}
 		c.count++
 	}
 	s := Signature{
-		Centers: make([][]float64, 0, len(cells)),
-		Weights: make([]float64, 0, len(cells)),
+		Centers: make([][]float64, 0, len(order)),
+		Weights: make([]float64, 0, len(order)),
 	}
-	for _, c := range cells {
+	for _, c := range order {
 		s.Centers = append(s.Centers, c.center)
 		s.Weights = append(s.Weights, c.count)
 	}

@@ -262,3 +262,36 @@ func TestBuildSequence(t *testing.T) {
 		t.Error("expected error for empty bag in sequence")
 	}
 }
+
+// TestGridBuilderDeterministicOrder is the regression test for the grid
+// builder's map-iteration bug: two builds of the same bag must emit the
+// cells in the same (first-occupied) order, otherwise every bit-identity
+// contract downstream of a grid signature silently breaks.
+func TestGridBuilderDeterministicOrder(t *testing.T) {
+	rng := randx.New(77)
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = rng.NormalVec(2, 0, 2)
+	}
+	b := bag.New(0, pts)
+	gb := NewGridBuilder([]float64{-6, -6}, []float64{6, 6}, 8)
+	ref, err := gb.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 20; run++ {
+		s, err := gb.Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != ref.Len() {
+			t.Fatalf("run %d: %d cells vs %d", run, s.Len(), ref.Len())
+		}
+		for i := range s.Centers {
+			if s.Weights[i] != ref.Weights[i] || s.Centers[i][0] != ref.Centers[i][0] || s.Centers[i][1] != ref.Centers[i][1] {
+				t.Fatalf("run %d: entry %d differs: (%v, %g) vs (%v, %g)",
+					run, i, s.Centers[i], s.Weights[i], ref.Centers[i], ref.Weights[i])
+			}
+		}
+	}
+}

@@ -159,6 +159,72 @@ func TestPublicPairwiseEMDAndMDS(t *testing.T) {
 	}
 }
 
+// TestPublicTiledPairwiseAndShardMerge exercises the tiled surface the
+// way a corpus-scale caller would: full tiled matrix == legacy shim
+// output bit-for-bit, MDS accepts the Rows() view, and a 2-shard
+// compute → MergePairwise run reproduces the matrix exactly.
+func TestPublicTiledPairwiseAndShardMerge(t *testing.T) {
+	rng := randx.New(3)
+	var seq Sequence
+	for ts := 0; ts < 12; ts++ {
+		mu := 0.0
+		if ts >= 6 {
+			mu = 10
+		}
+		vals := make([]float64, 40)
+		for i := range vals {
+			vals[i] = rng.Normal(mu, 1)
+		}
+		seq = append(seq, BagFromScalars(ts, vals))
+	}
+	legacy, err := PairwiseEMD(NewHistogramBuilder(-5, 15, 40), seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := HistogramFactory(-5, 15, 40)
+	m, err := PairwiseEMDTiled(seq,
+		WithPairBuilderFactory(factory, 1),
+		WithTileSize(4),
+		WithPairWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy {
+		for j := range legacy[i] {
+			if m.At(i, j) != legacy[i][j] {
+				t.Fatalf("tiled cell (%d,%d) = %g, legacy = %g", i, j, m.At(i, j), legacy[i][j])
+			}
+		}
+	}
+	if _, _, err := MDSEmbed(m.Rows(), 2); err != nil {
+		t.Fatalf("MDS over Rows() view: %v", err)
+	}
+	var parts []*PartialMatrix
+	for s := 0; s < 2; s++ {
+		p, err := PairwiseEMDShard(seq,
+			WithPairBuilderFactory(factory, 1),
+			WithTileSize(4),
+			WithShard(s, 2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := MergePairwise(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if merged.At(i, j) != m.At(i, j) {
+				t.Fatalf("merged cell (%d,%d) = %g, want %g", i, j, merged.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
 func TestIntervalExposed(t *testing.T) {
 	iv := Interval{Lo: 1, Up: 2, Point: 1.5}
 	if !iv.Contains(1.5) || iv.Width() != 1 {
