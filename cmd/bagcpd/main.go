@@ -19,24 +19,39 @@
 // seeded from (-seed, stream id), whatever the batch interleaving or
 // worker count.
 //
+// With -serve the detector engine instead runs as a long-lived HTTP
+// service: NDJSON batch ingest on POST /v1/push, stream lifecycle
+// endpoints, engine snapshot/restore (GET /v1/snapshot, POST
+// /v1/restore) for moving streams between instances, idle-stream TTL
+// eviction (-idle-ttl), bounded in-flight batches (-max-inflight; 429 on
+// overflow) and Prometheus metrics on GET /metrics. The listen address
+// actually bound is printed to stderr (use port 0 to let the OS pick).
+//
 // Example:
 //
 //	bagcpd -tau 5 -tau-prime 5 -score kl -k 8 < bags.jsonl
 //	bagcpd -format csv -hist-lo -10 -hist-hi 10 -hist-bins 40 < points.csv
 //	bagcpd -streams -workers 8 -hist-lo -10 -hist-hi 10 -hist-bins 40 < multiplexed.jsonl
+//	bagcpd -serve :8080 -hist-lo -10 -hist-hi 10 -hist-bins 40 -idle-ttl 10m
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 )
@@ -58,17 +73,25 @@ func main() {
 		streams  = flag.Bool("streams", false, "multi-stream mode: jsonl lines are {\"stream\":id,\"points\":[...]}")
 		workers  = flag.Int("workers", 0, "engine worker goroutines for -streams (0 = GOMAXPROCS)")
 		batch    = flag.Int("batch", 256, "bags per engine batch in -streams mode")
+
+		serve       = flag.String("serve", "", "run as an HTTP service on this address (e.g. :8080; port 0 picks a free port)")
+		maxInflight = flag.Int("max-inflight", 0, "serve mode: concurrent push batches before 429 (0 = default)")
+		maxBatch    = flag.Int("max-batch", 0, "serve mode: max bags per push batch (0 = default)")
+		idleTTL     = flag.Duration("idle-ttl", 0, "serve mode: evict streams idle this long (0 disables eviction)")
 	)
 	flag.Parse()
 
 	var factory repro.BuilderFactory
+	var builderTag string
 	if *histBins > 0 {
 		if !(*histHi > *histLo) {
 			fatalf("-hist-hi must exceed -hist-lo")
 		}
 		factory = repro.HistogramFactory(*histLo, *histHi, *histBins)
+		builderTag = fmt.Sprintf("hist(lo=%g,hi=%g,bins=%d)", *histLo, *histHi, *histBins)
 	} else {
 		factory = repro.KMeansFactory(*k)
+		builderTag = fmt.Sprintf("kmeans(k=%d)", *k)
 	}
 	scoreType := repro.ScoreKL
 	switch *score {
@@ -79,6 +102,25 @@ func main() {
 		fatalf("unknown -score %q (want kl or lr)", *score)
 	}
 	bootCfg := repro.BootstrapConfig{Replicates: *reps, Alpha: *alpha}
+
+	if *serve != "" {
+		eng, err := repro.NewEngine(
+			repro.WithTau(*tau), repro.WithTauPrime(*tauPrime),
+			repro.WithScore(scoreType),
+			repro.WithBuilderFactory(factory),
+			repro.WithBuilderTag(builderTag),
+			repro.WithBootstrap(bootCfg),
+			repro.WithSeed(*seed),
+			repro.WithWorkers(*workers),
+		)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := runServe(eng, *serve, *maxInflight, *maxBatch, *idleTTL); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	in := os.Stdin
 	if *input != "-" {
@@ -355,6 +397,49 @@ func readCSV(r io.Reader, det *repro.Detector, emit func(*repro.Point)) error {
 		return err
 	}
 	return flush()
+}
+
+// runServe runs the engine as an HTTP service until SIGINT/SIGTERM,
+// then drains: the listener stops, in-flight requests finish, the
+// eviction janitor halts and the engine shuts down. The bound address is
+// announced on stderr so callers using port 0 (and the integration
+// tests) can find the service.
+func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL time.Duration) error {
+	srv, err := repro.NewServer(repro.ServerConfig{
+		Engine:       eng,
+		MaxInFlight:  maxInflight,
+		MaxBatchBags: maxBatch,
+		IdleTTL:      idleTTL,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bagcpd: serving on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		eng.Shutdown()
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "bagcpd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(ctx)
+		eng.Shutdown()
+		return err
+	}
 }
 
 func fatalf(format string, args ...any) {

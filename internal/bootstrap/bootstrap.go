@@ -156,6 +156,57 @@ func (e *Estimator) ResetStreams(seed int64) {
 	}
 }
 
+// StreamState is the serializable position of a seeded estimator's
+// persistent shard streams. Restoring it with RestoreStreams yields an
+// estimator whose future intervals are bit-identical to the one it was
+// captured from — the checkpoint/resume hook the engine snapshot uses.
+type StreamState struct {
+	// Seed is the estimator's base seed (shard k's stream derives from
+	// SplitSeed(Seed, k)).
+	Seed int64 `json:"seed"`
+	// Shards holds the position of every shard stream materialized so
+	// far; shards beyond the slice haven't been created yet and restore
+	// implicitly (a lazily-created shard always starts at draw 0).
+	Shards []randx.State `json:"shards"`
+}
+
+// StreamState captures the persistent shard stream positions of a seeded
+// estimator (NewSeededEstimator or ResetStreams). It errors on a per-call
+// estimator, whose shard streams are reseeded from the caller's RNG every
+// Interval and therefore have no position of their own to checkpoint.
+func (e *Estimator) StreamState() (StreamState, error) {
+	if !e.persistent {
+		return StreamState{}, fmt.Errorf("bootstrap: StreamState requires a seeded estimator (NewSeededEstimator)")
+	}
+	st := StreamState{Seed: e.seedBase, Shards: make([]randx.State, len(e.shards))}
+	for k := range e.shards {
+		st.Shards[k] = e.shards[k].rng.State()
+	}
+	return st, nil
+}
+
+// RestoreStreams positions the estimator's persistent shard streams at
+// st: existing shard RNGs are rewound and replayed in place, missing ones
+// are created, and shards beyond st.Shards are rewound to their initial
+// position (matching an uninterrupted run, where they would not have been
+// created yet). After RestoreStreams the estimator's interval sequence is
+// bit-identical to the estimator StreamState was captured from. Like
+// ResetStreams, calling it on a per-call estimator converts it to
+// persistent mode (discarding the incompatible fast-seed shard RNGs).
+func (e *Estimator) RestoreStreams(st StreamState) error {
+	e.ResetStreams(st.Seed)
+	for len(e.shards) < len(st.Shards) {
+		k := int64(len(e.shards))
+		e.shards = append(e.shards, shardState{rng: randx.New(randx.SplitSeed(st.Seed, k))})
+	}
+	for k := range st.Shards {
+		if err := e.shards[k].rng.Restore(st.Shards[k]); err != nil {
+			return fmt.Errorf("bootstrap: shard %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
 var estimatorPool = sync.Pool{New: func() any { return NewEstimator() }}
 
 // ConfidenceInterval estimates the 100(1−α)% Bayesian-bootstrap interval

@@ -207,6 +207,9 @@ func New(cfg Config) (*Detector, error) {
 // WindowSize returns τ+τ′, the number of bags the detector retains.
 func (d *Detector) WindowSize() int { return d.cfg.Tau + d.cfg.TauPrime }
 
+// Count returns the number of bags pushed so far.
+func (d *Detector) Count() int { return d.count }
+
 // Push feeds the next bag. Once at least τ+τ′ bags have arrived it
 // returns the Point for inspection time t = count−τ′ (the scores lag the
 // stream by τ′−1 steps, which is inherent to the method: the test window

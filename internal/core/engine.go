@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -34,6 +35,15 @@ type EngineConfig struct {
 	// Seed is the engine base seed from which every per-stream seed is
 	// split.
 	Seed int64
+	// BuilderTag optionally names the Factory/Ground configuration as an
+	// opaque string (e.g. "hist(lo=-8,hi=12,bins=30)"). Factories are
+	// code, so the snapshot fingerprint cannot derive their parameters;
+	// a tag lets deployments that configure factories from flags carry
+	// those parameters into the envelope, making a restore onto an
+	// engine with different builder parameters fail loudly instead of
+	// silently diverging. Engines with differing tags refuse each
+	// other's snapshots.
+	BuilderTag string
 	// Workers bounds the goroutines PushBatch fans streams across;
 	// 0 selects GOMAXPROCS. Worker count never affects output.
 	Workers int
@@ -56,18 +66,24 @@ type EngineConfig struct {
 // Create with NewEngine; obtain per-stream handles with Open or feed
 // many streams at once with PushBatch.
 //
-// Concurrency: Open, Close and Len are safe for concurrent use.
-// Detector state is owned by the stream, so pushes to the SAME stream
-// must be serialized by the caller — concurrent PushBatch calls (or a
-// PushBatch concurrent with Stream.Push) are safe only when they touch
-// disjoint stream sets. Within one PushBatch call the engine itself
-// serializes all bags of a stream in input order.
+// Concurrency: Open, Close, Get, Len, Stats and Shutdown are safe for
+// concurrent use, and each stream guards its detector with its own lock,
+// so a Close racing a Push can never hand a detector to the pool while it
+// is mid-push. Pushes to the SAME stream are serialized by that lock but
+// their ORDER is then up to goroutine scheduling — for deterministic
+// output, callers must still serialize pushes per stream: concurrent
+// PushBatch calls (or a PushBatch concurrent with Stream.Push) only have
+// reproducible results when they touch disjoint stream sets. Within one
+// PushBatch call the engine itself serializes all bags of a stream in
+// input order.
 type Engine struct {
 	cfg EngineConfig
 
-	mu      sync.Mutex
-	streams map[string]*Stream
-	free    []*Detector // closed streams' detectors, warm and ready to recycle
+	mu       sync.Mutex
+	streams  map[string]*Stream
+	free     []*Detector // closed streams' detectors, warm and ready to recycle
+	closed   bool
+	inflight sync.WaitGroup // running PushBatch calls, drained by Shutdown
 }
 
 // NewEngine validates cfg and returns an Engine with no open streams.
@@ -114,6 +130,9 @@ func (e *Engine) Open(id string) (*Stream, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is shut down")
+	}
 	if st, ok := e.streams[id]; ok {
 		return st, nil
 	}
@@ -149,11 +168,99 @@ func (e *Engine) Len() int {
 	return len(e.streams)
 }
 
-// Stream is a lightweight handle on one detector stream owned by an
-// Engine. It is not safe for concurrent use (see Engine).
+// Get returns the handle for stream id if it is currently open, without
+// creating it (Open is create-on-use; Get is the read-only lookup a
+// server front-end needs for lifecycle endpoints).
+func (e *Engine) Get(id string) (*Stream, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.streams[id]
+	return st, ok
+}
+
+// StreamIDs returns the ids of all open streams, sorted.
+func (e *Engine) StreamIDs() []string {
+	e.mu.Lock()
+	ids := make([]string, 0, len(e.streams))
+	for id := range e.streams {
+		ids = append(ids, id)
+	}
+	e.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats is a point-in-time census of the engine's resources.
+type Stats struct {
+	// Open is the number of open streams.
+	Open int
+	// PooledFree is the number of closed streams' warm detectors waiting
+	// in the recycle pool.
+	PooledFree int
+}
+
+// Stats returns the engine's current resource census.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Open: len(e.streams), PooledFree: len(e.free)}
+}
+
+// CloseAll closes every open stream, recycling all detectors into the
+// pool. The engine stays usable — a later Open starts streams from
+// scratch. It is the "make room for a restored state" primitive: callers
+// must not have pushes in flight.
+func (e *Engine) CloseAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closeAllLocked()
+}
+
+func (e *Engine) closeAllLocked() {
+	for id, st := range e.streams {
+		st.mu.Lock()
+		if st.det != nil {
+			e.free = append(e.free, st.det)
+			st.det = nil
+		}
+		st.mu.Unlock()
+		delete(e.streams, id)
+	}
+}
+
+// Shutdown tears the whole engine down: it refuses new Opens, waits for
+// in-flight PushBatch calls to drain, closes every stream and returns all
+// detectors to the pool. Pushes racing the shutdown fail per-stream with
+// a closed-stream error once their stream is torn down; pushes already
+// holding a stream's lock complete first. Shutdown is idempotent, and
+// every engine entry point except Len/Get/Stats errors afterwards.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	// New PushBatch calls are refused from here on (Open checks closed);
+	// wait for the ones already running.
+	e.inflight.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closeAllLocked()
+}
+
+// Stream is a handle on one detector stream owned by an Engine. Its own
+// lock makes Push/Close races memory-safe, but the OUTPUT of concurrent
+// pushes to one stream depends on scheduling order — serialize pushes per
+// stream for deterministic results (see Engine).
 type Stream struct {
 	eng *Engine
 	id  string
+
+	mu  sync.Mutex
 	det *Detector
 }
 
@@ -163,26 +270,60 @@ func (s *Stream) ID() string { return s.id }
 // Push feeds the stream's next bag, exactly like Detector.Push. It
 // returns an error after Close.
 func (s *Stream) Push(b bag.Bag) (*Point, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.det == nil {
 		return nil, fmt.Errorf("core: stream %q is closed", s.id)
 	}
 	return s.det.Push(b)
 }
 
+// Seq returns the number of bags pushed so far — the time index the
+// stream's next bag will get in sequential-clock wire protocols. It
+// returns 0 after Close.
+func (s *Stream) Seq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.det == nil {
+		return 0
+	}
+	return s.det.Count()
+}
+
 // Close releases the stream and recycles its detector (window buffers,
 // EMD solver and bootstrap scratch) into the engine's pool for the next
-// Open. Close is idempotent; a later Open of the same id starts the
-// stream from scratch, bit-identical to its first life.
+// Open. Close is idempotent and safe against every interleaving with
+// Open and Push on the same id: the detector is handed to the pool
+// exactly once, never while a Push holds it, and a stale handle kept
+// across a Close+reopen cannot tear down (or double-free into the pool)
+// the id's CURRENT stream — only the handle the engine registered.
 func (s *Stream) Close() {
 	e := s.eng
+	// Deregister first, under the engine lock alone. Waiting for the
+	// stream lock happens OUTSIDE e.mu: a push group can hold s.mu for a
+	// long batch, and blocking the whole engine (every Open/Get/PushBatch
+	// start) on one stream's in-flight work would stall unrelated
+	// streams. Deregister only if this handle is still the id's
+	// registered stream; after a Close+reopen race the map may hold a
+	// NEWER stream for the same id, which must survive a stale handle's
+	// Close.
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s.det == nil {
+	if cur, ok := e.streams[s.id]; ok && cur == s {
+		delete(e.streams, s.id)
+	}
+	e.mu.Unlock()
+	// Wait for any in-flight push on THIS handle, then take the detector
+	// exactly once (concurrent Closes race here; only one sees non-nil).
+	s.mu.Lock()
+	det := s.det
+	s.det = nil
+	s.mu.Unlock()
+	if det == nil {
 		return
 	}
-	delete(e.streams, s.id)
-	e.free = append(e.free, s.det)
-	s.det = nil
+	e.mu.Lock()
+	e.free = append(e.free, det)
+	e.mu.Unlock()
 }
 
 // StreamBag addresses one bag to one stream for PushBatch.
@@ -212,6 +353,17 @@ type StreamResult struct {
 // and all other streams proceed. The returned error is the first
 // per-bag error in batch order, nil if every bag succeeded.
 func (e *Engine) PushBatch(batch []StreamBag) ([]StreamResult, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: engine is shut down")
+	}
+	// Registered under the engine lock so Shutdown's closed flag and its
+	// inflight.Wait can never miss a running batch.
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+
 	results := make([]StreamResult, len(batch))
 
 	// Group the batch by stream, preserving first-appearance order and
@@ -246,7 +398,19 @@ func (e *Engine) PushBatch(batch []StreamBag) ([]StreamResult, error) {
 	}
 
 	run := func(g *group) {
+		// One lock hold for the whole group: the stream's bags are pushed
+		// back-to-back without re-acquiring, and a Close racing the batch
+		// either waits for the group or makes every bag fail closed.
+		g.st.mu.Lock()
+		defer g.st.mu.Unlock()
 		var failed error
+		if g.st.det == nil {
+			failed = fmt.Errorf("core: stream %q is closed", g.st.id)
+			for _, i := range g.idxs {
+				results[i].Err = failed
+			}
+			return
+		}
 		for _, i := range g.idxs {
 			if failed != nil {
 				results[i].Err = fmt.Errorf("core: stream %q: bag skipped after earlier error in batch: %w", g.st.id, failed)

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/signature"
+)
+
+// TestEngineOpenClosePushRace hammers one stream id with concurrent
+// Open, Close, Push, PushBatch and failing Opens (run under -race in
+// CI). The properties checked are the ones a Close/Open race can break:
+// no panic, no detector double-freed into the pool, and — after the
+// storm — a fresh life of the id is bit-identical to a standalone
+// detector, proving no pooled detector kept another stream's state.
+func TestEngineOpenClosePushRace(t *testing.T) {
+	factory := signature.HistogramFactory(-6, 9, 24)
+	eng := newTestEngine(t, factory, 2)
+	const id = "contested"
+	bags := streamBags(id, 8)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				st, err := eng.Open(id)
+				if err != nil {
+					continue
+				}
+				st.Push(bags[i%len(bags)]) // may fail closed; must not race
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if st, ok := eng.Get(id); ok {
+					st.Close()
+					st.Close() // double Close on the same handle must be harmless
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				eng.PushBatch([]StreamBag{
+					{StreamID: id, Bag: bags[i%len(bags)]},
+					{StreamID: id, Bag: bags[(i+1)%len(bags)]},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The pool must hold at most one detector per closed life — a
+	// double-free would let two streams share one detector. Count
+	// distinct detectors by opening streams until the pool is drained.
+	if st, ok := eng.Get(id); ok {
+		st.Close()
+	}
+	stats := eng.Stats()
+	if stats.Open != 0 {
+		t.Fatalf("streams left open after storm: %+v", stats)
+	}
+	seen := make(map[*Detector]bool)
+	for i := 0; i < stats.PooledFree; i++ {
+		st, err := eng.Open(fmt.Sprintf("drain-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.mu.Lock()
+		det := st.det
+		st.mu.Unlock()
+		if seen[det] {
+			t.Fatal("pool handed out the same detector twice: double-free")
+		}
+		seen[det] = true
+	}
+
+	// Fresh life of the contested id must match a standalone detector.
+	st, err := eng.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(eng.StreamConfig(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bags {
+		got, err := st.Push(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Push(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got == nil) != (want == nil) {
+			t.Fatalf("nil mismatch after storm: %v vs %v", got, want)
+		}
+		if got != nil && !pointsEqual(*got, *want) {
+			t.Fatalf("post-storm point %+v != standalone %+v", *got, *want)
+		}
+	}
+}
+
+// TestStreamStaleHandleClose: a handle kept across Close + reopen must
+// not be able to tear down the id's CURRENT stream or double-free its
+// detector into the pool.
+func TestStreamStaleHandleClose(t *testing.T) {
+	factory := signature.HistogramFactory(-6, 9, 24)
+	eng := newTestEngine(t, factory, 1)
+	bags := streamBags("x", 3)
+
+	stale, err := eng.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.Close()
+
+	cur, err := eng.Open("x") // recycles the pooled detector
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.Close() // must be a no-op: stale handle, already closed
+	if _, err := cur.Push(bags[0]); err != nil {
+		t.Fatalf("current stream broken by stale Close: %v", err)
+	}
+	if got := eng.Stats(); got.Open != 1 || got.PooledFree != 0 {
+		t.Fatalf("stats after stale Close = %+v, want 1 open / 0 pooled", got)
+	}
+}

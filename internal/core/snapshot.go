@@ -1,0 +1,353 @@
+// Snapshot/restore: full detector and engine state as a versioned,
+// JSON-serializable envelope.
+//
+// The detector is an online procedure, so a long-lived service must be
+// able to checkpoint a stream's state and resume it elsewhere — that is
+// how streams rebalance across engine instances. The contract is strict
+// bit-identity: a restored detector's future Points (scores AND bootstrap
+// intervals) are exactly those the uninterrupted detector would have
+// produced, because the snapshot captures everything the output depends
+// on — the signature window, the rolling log-EMD matrix, the interval
+// history, the bootstrap shard stream positions, and (for randomized
+// builders) the builder's RNG position. Everything else in a Detector is
+// derived or scratch.
+//
+// What the snapshot does NOT carry is configuration identity: the
+// builder factory and ground distance are code, not data. A snapshot can
+// only be restored onto an engine constructed with the same Template,
+// Factory and Seed; the envelope records a parameter fingerprint so
+// mismatches fail loudly instead of producing silently different scores.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bootstrap"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// SnapshotVersion is the envelope schema version. Restore refuses other
+// versions: the snapshot encodes internal stream positions whose meaning
+// is tied to the code that wrote them.
+const SnapshotVersion = 1
+
+// SignatureState is one window signature in serializable form.
+type SignatureState struct {
+	Centers [][]float64 `json:"centers"`
+	Weights []float64   `json:"weights"`
+}
+
+// IntervalState is one inspection time's bootstrap interval, keyed
+// explicitly (JSON objects cannot have int keys).
+type IntervalState struct {
+	T  int     `json:"t"`
+	Lo float64 `json:"lo"`
+	Up float64 `json:"up"`
+	Pt float64 `json:"point"`
+}
+
+// DetectorState is the complete serializable state of one Detector.
+type DetectorState struct {
+	// Count is the number of bags pushed so far.
+	Count int `json:"count"`
+	// Window holds the retained signatures, oldest first.
+	Window []SignatureState `json:"window"`
+	// LogD is the rolling log-EMD matrix over the window (row i column j
+	// is the clamped log distance between window signatures i and j).
+	LogD [][]float64 `json:"log_d"`
+	// History holds the recent intervals the κ_t test still consults.
+	History []IntervalState `json:"history"`
+	// Bootstrap is the position of the detector's persistent bootstrap
+	// shard streams.
+	Bootstrap bootstrap.StreamState `json:"bootstrap"`
+	// BuilderRNG is the builder's RNG position for randomized builders
+	// (k-means, k-medoids); nil for stateless builders.
+	BuilderRNG *randx.State `json:"builder_rng,omitempty"`
+}
+
+// Snapshot captures the detector's complete state. The detector can keep
+// running afterwards; the snapshot is a deep copy.
+func (d *Detector) Snapshot() (*DetectorState, error) {
+	bs, err := d.est.StreamState()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot bootstrap streams: %w", err)
+	}
+	st := &DetectorState{
+		Count:     d.count,
+		Window:    make([]SignatureState, len(d.window)),
+		LogD:      make([][]float64, len(d.logD)),
+		Bootstrap: bs,
+	}
+	for i, sig := range d.window {
+		c := sig.Clone()
+		st.Window[i] = SignatureState{Centers: c.Centers, Weights: c.Weights}
+	}
+	for i, row := range d.logD {
+		st.LogD[i] = append([]float64(nil), row...)
+	}
+	ts := make([]int, 0, len(d.history))
+	for t := range d.history {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	for _, t := range ts {
+		iv := d.history[t]
+		st.History = append(st.History, IntervalState{T: t, Lo: iv.Lo, Up: iv.Up, Pt: iv.Point})
+	}
+	if snap, ok := d.cfg.Builder.(signature.RNGSnapshotter); ok {
+		rs := snap.RNGState()
+		st.BuilderRNG = &rs
+	}
+	return st, nil
+}
+
+// RestoreSnapshot rewinds the detector to exactly the state st was
+// captured at: window, distance matrix, interval history, bootstrap
+// shard streams and builder RNG position. The detector must have been
+// constructed with the same configuration (and, for randomized builders,
+// a factory-fresh builder on the same seed) as the snapshotted one; from
+// here its Points are bit-identical to the uninterrupted detector's.
+func (d *Detector) RestoreSnapshot(st *DetectorState) error {
+	w := d.WindowSize()
+	if len(st.Window) > w {
+		return fmt.Errorf("core: snapshot window has %d signatures, detector holds at most %d", len(st.Window), w)
+	}
+	if len(st.LogD) != len(st.Window) {
+		return fmt.Errorf("core: snapshot log-distance matrix has %d rows for %d window signatures", len(st.LogD), len(st.Window))
+	}
+	for i, row := range st.LogD {
+		if len(row) != len(st.Window) {
+			return fmt.Errorf("core: snapshot log-distance row %d has %d columns, want %d", i, len(row), len(st.Window))
+		}
+	}
+	if st.Count < len(st.Window) {
+		return fmt.Errorf("core: snapshot count %d is smaller than its window (%d signatures)", st.Count, len(st.Window))
+	}
+	for i, sig := range st.Window {
+		s := signature.Signature{Centers: sig.Centers, Weights: sig.Weights}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("core: snapshot window signature %d: %w", i, err)
+		}
+	}
+	snap, stateful := d.cfg.Builder.(signature.RNGSnapshotter)
+	if stateful && st.BuilderRNG == nil {
+		return fmt.Errorf("core: snapshot lacks builder RNG state but the detector's builder is randomized — snapshot and detector configurations disagree")
+	}
+	if !stateful && st.BuilderRNG != nil {
+		return fmt.Errorf("core: snapshot carries builder RNG state but the detector's builder is stateless — snapshot and detector configurations disagree")
+	}
+
+	// All validation passed; from here on mutate in place. Start from the
+	// recycled-clean state so leftover buffers are reused, not leaked.
+	d.reset(d.cfg.Builder, d.cfg.Seed)
+	d.count = st.Count
+	for _, sig := range st.Window {
+		d.window = append(d.window, signature.Signature{Centers: sig.Centers, Weights: sig.Weights}.Clone())
+	}
+	for _, row := range st.LogD {
+		r := make([]float64, len(row), w)
+		copy(r, row)
+		d.logD = append(d.logD, r)
+	}
+	for _, h := range st.History {
+		d.history[h.T] = bootstrap.Interval{Lo: h.Lo, Up: h.Up, Point: h.Pt}
+	}
+	if err := d.est.RestoreStreams(st.Bootstrap); err != nil {
+		return err
+	}
+	if stateful {
+		if err := snap.RestoreRNGState(*st.BuilderRNG); err != nil {
+			return fmt.Errorf("core: restore builder RNG: %w", err)
+		}
+	}
+	return nil
+}
+
+// StreamSnapshot pairs a stream id with its detector state.
+type StreamSnapshot struct {
+	ID       string        `json:"id"`
+	Detector DetectorState `json:"detector"`
+}
+
+// EngineSnapshot is the versioned envelope of a whole engine's state:
+// one entry per open stream plus the configuration fingerprint restore
+// validates against. It is plain data — json.Marshal it to ship engine
+// state across processes (Go's JSON float encoding is shortest-exact, so
+// the envelope round-trips float64 values bit-for-bit).
+type EngineSnapshot struct {
+	Version    int              `json:"version"`
+	Seed       int64            `json:"seed"`
+	Tau        int              `json:"tau"`
+	TauPrime   int              `json:"tau_prime"`
+	Score      int              `json:"score"`
+	Weighting  int              `json:"weighting"`
+	RawMass    bool             `json:"raw_mass"`
+	LogFloor   float64          `json:"log_floor"`
+	Replicates int              `json:"replicates"`
+	Alpha      float64          `json:"alpha"`
+	BuilderTag string           `json:"builder_tag,omitempty"`
+	Streams    []StreamSnapshot `json:"streams"`
+}
+
+// fingerprint returns the envelope carrying cfg's restore-validated
+// parameters and no streams.
+func (e *Engine) fingerprint() EngineSnapshot {
+	t := e.cfg.Template
+	return EngineSnapshot{
+		Version:    SnapshotVersion,
+		Seed:       e.cfg.Seed,
+		Tau:        t.Tau,
+		TauPrime:   t.TauPrime,
+		Score:      int(t.Score),
+		Weighting:  int(t.Weighting),
+		RawMass:    t.RawMass,
+		LogFloor:   t.LogFloor,
+		Replicates: t.Bootstrap.Replicates,
+		Alpha:      t.Bootstrap.Alpha,
+		BuilderTag: e.cfg.BuilderTag,
+	}
+}
+
+// ValidateSnapshot checks that snap could be restored onto this engine —
+// the schema version is readable and the configuration fingerprint
+// (seed, τ, τ′, score, weighting, raw-mass, log-floor, replicates, α,
+// builder tag) matches — without touching any state. A server front-end
+// calls it BEFORE tearing down live streams, so a rejected envelope
+// leaves the receiving engine exactly as it was.
+func (e *Engine) ValidateSnapshot(snap *EngineSnapshot) error {
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, this engine reads version %d", snap.Version, SnapshotVersion)
+	}
+	want := e.fingerprint()
+	mismatch := snap.Seed != want.Seed || snap.Tau != want.Tau || snap.TauPrime != want.TauPrime ||
+		snap.Score != want.Score || snap.Weighting != want.Weighting || snap.RawMass != want.RawMass ||
+		snap.LogFloor != want.LogFloor || snap.Replicates != want.Replicates || snap.Alpha != want.Alpha ||
+		snap.BuilderTag != want.BuilderTag
+	if mismatch {
+		got := *snap
+		got.Streams = nil
+		want.Streams = nil
+		return fmt.Errorf("core: snapshot configuration %+v does not match engine configuration %+v", got, want)
+	}
+	return nil
+}
+
+// Snapshot serializes the full engine state: every open stream's
+// detector, in stream-id order. The caller must have quiesced the engine
+// — no pushes may be in flight (a server front-end holds its exclusive
+// state lock around this; each stream's own lock is still taken so a
+// violated contract corrupts nothing, though it would make WHICH state
+// got captured a race).
+func (e *Engine) Snapshot() (*EngineSnapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is shut down")
+	}
+	snap := e.fingerprint()
+	ids := make([]string, 0, len(e.streams))
+	for id := range e.streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := e.streams[id]
+		st.mu.Lock()
+		det := st.det
+		var ds *DetectorState
+		var err error
+		if det != nil {
+			ds, err = det.Snapshot()
+		}
+		st.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot stream %q: %w", id, err)
+		}
+		if ds != nil {
+			snap.Streams = append(snap.Streams, StreamSnapshot{ID: id, Detector: *ds})
+		}
+	}
+	return &snap, nil
+}
+
+// Restore reconstructs the snapshotted streams on this engine: each
+// stream is opened (recycling pooled detectors as usual) and its
+// detector rewound to the snapshot state, after which every stream is
+// bit-identical going forward to one that never stopped. The engine must
+// have no open streams (CloseAll first — restore replaces state, it does
+// not merge), and its configuration must match the snapshot fingerprint
+// (ValidateSnapshot); the builder factory and ground distance are code
+// and cannot be fingerprinted directly, so deployments that build them
+// from configuration should describe that configuration in
+// EngineConfig.BuilderTag — engines with differing tags refuse each
+// other's snapshots instead of silently diverging. On error the engine
+// may hold a partially restored stream set; CloseAll before retrying.
+//
+// Cost: restoring RNG stream positions is an exact REPLAY — O(draws
+// consumed so far) per bootstrap shard and builder stream, the price of
+// bit-identity on the historical stdlib stream (whose internal state is
+// not exportable). Streams restore in parallel across the engine's
+// worker budget, but a fleet of very long-lived streams still pays
+// seconds per ~10⁵ pushes of per-stream history; snapshot/restore is a
+// rebalancing primitive, not a hot-path operation.
+func (e *Engine) Restore(snap *EngineSnapshot) error {
+	if err := e.ValidateSnapshot(snap); err != nil {
+		return err
+	}
+	if n := e.Len(); n != 0 {
+		return fmt.Errorf("core: restore requires an engine with no open streams, have %d (CloseAll first)", n)
+	}
+	streams := make([]*Stream, len(snap.Streams))
+	for i := range snap.Streams {
+		st, err := e.Open(snap.Streams[i].ID)
+		if err != nil {
+			return fmt.Errorf("core: restore stream %q: %w", snap.Streams[i].ID, err)
+		}
+		streams[i] = st
+	}
+	// Detector rewinds are independent per stream and dominated by RNG
+	// replay, so fan them across the worker budget.
+	errs := make([]error, len(streams))
+	restore := func(i int) {
+		st := streams[i]
+		st.mu.Lock()
+		errs[i] = st.det.RestoreSnapshot(&snap.Streams[i].Detector)
+		st.mu.Unlock()
+	}
+	workers := e.cfg.Workers
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	if workers <= 1 {
+		for i := range streams {
+			restore(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(streams) {
+						return
+					}
+					restore(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: restore stream %q: %w", snap.Streams[i].ID, err)
+		}
+	}
+	return nil
+}

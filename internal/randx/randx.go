@@ -15,16 +15,68 @@ import (
 
 // RNG is the random source for all samplers. It wraps math/rand.Rand so a
 // single seeded stream drives an entire experiment.
+//
+// Every RNG tracks its stream position — the seed it was last (re)seeded
+// with and the number of values drawn from its source since — so its
+// exact state can be exported with State and reproduced with Restore or
+// FromState. This is what lets a streaming detector checkpoint mid-run
+// and resume bit-identically: both source backends advance one step per
+// drawn value regardless of which sampler consumed it, so replaying the
+// same number of draws lands on the same stream position.
 type RNG struct {
 	*rand.Rand
-	src rand.Source
+	src   rand.Source
+	kind  string
+	seed  int64
+	draws uint64
 }
+
+// Source kinds of State: the stdlib source (New) and the xoshiro256++
+// source (NewFast). The two produce different streams, so a state can
+// only be restored onto the backend that produced it.
+const (
+	KindStd  = "std"
+	KindFast = "fast"
+)
+
+// State is the serializable position of an RNG stream: restore it with
+// (*RNG).Restore or FromState to obtain a generator whose future draws
+// are bit-identical to the original's.
+type State struct {
+	Kind  string `json:"kind"`
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// countedSource wraps a Source64 and bumps the owning RNG's draw counter
+// on every value pulled, whichever method pulls it. Both backends advance
+// exactly one internal step per Int63/Uint64 call, so the counter is a
+// faithful stream position.
+type countedSource struct {
+	inner rand.Source64
+	n     *uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	*c.n++
+	return c.inner.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	*c.n++
+	return c.inner.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) { c.inner.Seed(seed) }
 
 // New returns an RNG seeded with seed, backed by the stdlib source (the
 // historical stream every experiment's seeds were chosen against).
 func New(seed int64) *RNG {
-	src := rand.NewSource(seed)
-	return &RNG{Rand: rand.New(src), src: src}
+	r := &RNG{kind: KindStd, seed: seed}
+	src := &countedSource{inner: rand.NewSource(seed).(rand.Source64), n: &r.draws}
+	r.src = src
+	r.Rand = rand.New(src)
+	return r
 }
 
 // NewFast returns an RNG backed by a xoshiro256++ source (Blackman &
@@ -34,9 +86,51 @@ func New(seed int64) *RNG {
 // are reseeded per task, e.g. the bootstrap's per-shard replicate
 // streams.
 func NewFast(seed int64) *RNG {
-	src := &xoshiro{}
-	src.Seed(seed)
-	return &RNG{Rand: rand.New(src), src: src}
+	x := &xoshiro{}
+	x.Seed(seed)
+	r := &RNG{kind: KindFast, seed: seed}
+	src := &countedSource{inner: x, n: &r.draws}
+	r.src = src
+	r.Rand = rand.New(src)
+	return r
+}
+
+// State returns the RNG's current stream position.
+func (r *RNG) State() State { return State{Kind: r.kind, Seed: r.seed, Draws: r.draws} }
+
+// Restore rewinds (or advances) r to the stream position st: it reseeds
+// with st.Seed and replays st.Draws source steps, after which r's future
+// draws are bit-identical to the RNG st was captured from. The backend
+// must match (a std state cannot restore onto a fast RNG). Cost is
+// O(Draws) — a replay, not a state copy — which keeps both backends
+// restorable through one exact mechanism.
+func (r *RNG) Restore(st State) error {
+	if st.Kind != r.kind {
+		return fmt.Errorf("randx: cannot restore %q state onto %q RNG", st.Kind, r.kind)
+	}
+	r.Reseed(st.Seed)
+	cs := r.src.(*countedSource)
+	for r.draws < st.Draws {
+		cs.Uint64()
+	}
+	return nil
+}
+
+// FromState constructs a new RNG positioned at st; see (*RNG).Restore.
+func FromState(st State) (*RNG, error) {
+	var r *RNG
+	switch st.Kind {
+	case KindStd:
+		r = New(st.Seed)
+	case KindFast:
+		r = NewFast(st.Seed)
+	default:
+		return nil, fmt.Errorf("randx: unknown RNG state kind %q", st.Kind)
+	}
+	if err := r.Restore(st); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // xoshiro is a xoshiro256++ generator (Blackman & Vigna 2018) seeded from
@@ -120,6 +214,8 @@ func (r *RNG) Split(id int64) *RNG {
 // each and reseed it per task, which keeps hot loops allocation-free.
 // O(1) for NewFast RNGs; New RNGs pay the stdlib's full re-init.
 func (r *RNG) Reseed(seed int64) {
+	r.seed = seed
+	r.draws = 0
 	r.src.Seed(seed)
 }
 

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServerIngest measures the full HTTP ingest path: one NDJSON
+// batch of 32 streams × 4 bags per request, through parse → engine
+// fan-out → NDJSON response. Streams are warm (windows full), so every
+// bag pays the steady-state cost: τ+τ′−1 EMDs plus a bootstrap interval.
+func BenchmarkServerIngest(b *testing.B) {
+	const streams, bagsPerStream = 32, 4
+	srv, err := New(Config{Engine: testEngine(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ids := make([]string, streams)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%02d", i)
+	}
+	body := func(step int) string {
+		var sb strings.Builder
+		for r := 0; r < bagsPerStream; r++ {
+			sb.WriteString(pushBody(step+r, ids...))
+		}
+		return sb.String()
+	}
+	// Warm every stream past its window so the benchmark measures the
+	// scoring regime, not the fill phase.
+	for step := 0; step < 8; step += bagsPerStream {
+		if _, err := http.Post(ts.URL+"/v1/push", "application/x-ndjson", strings.NewReader(body(step))); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	bodies := make([]string, 8)
+	for i := range bodies {
+		bodies[i] = body(8 + i*bagsPerStream)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/push", "application/x-ndjson", strings.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	bags := float64(streams * bagsPerStream)
+	b.ReportMetric(bags*float64(b.N)/b.Elapsed().Seconds(), "bags/s")
+}

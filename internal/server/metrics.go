@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyWindow is the number of recent batch latencies the quantile
+// summary is computed over. A fixed window keeps the scrape O(window)
+// and the memory bounded regardless of traffic.
+const latencyWindow = 1024
+
+// metrics is the server's instrumentation: monotonic counters plus a
+// sliding window of push-batch latencies for the scrape-time quantile
+// summary. All methods are safe for concurrent use.
+type metrics struct {
+	batches   atomic.Uint64 // push batches accepted
+	bags      atomic.Uint64 // bags ingested
+	points    atomic.Uint64 // inspection points produced
+	rowErrors atomic.Uint64 // per-row push errors
+	rejected  atomic.Uint64 // batches refused with 429
+	evictions atomic.Uint64 // idle streams evicted
+	snapshots atomic.Uint64 // snapshots served
+	restores  atomic.Uint64 // restores applied
+	inflight  atomic.Int64  // push batches currently executing
+
+	mu         sync.Mutex
+	latencies  [latencyWindow]float64 // seconds, ring buffer
+	latCount   uint64                 // total observations ever
+	latSumSecs float64                // cumulative sum (Prometheus _sum)
+}
+
+func (m *metrics) observeBatch(seconds float64, bags, points, rowErrors int) {
+	m.batches.Add(1)
+	m.bags.Add(uint64(bags))
+	m.points.Add(uint64(points))
+	m.rowErrors.Add(uint64(rowErrors))
+	m.mu.Lock()
+	m.latencies[m.latCount%latencyWindow] = seconds
+	m.latCount++
+	m.latSumSecs += seconds
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50/p90/p99 of the latency window plus the
+// cumulative count and sum.
+func (m *metrics) quantiles() (q50, q90, q99 float64, count uint64, sum float64) {
+	m.mu.Lock()
+	n := int(m.latCount)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]float64, n)
+	copy(window, m.latencies[:n])
+	count, sum = m.latCount, m.latSumSecs
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0, count, sum
+	}
+	sort.Float64s(window)
+	at := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return window[i]
+	}
+	return at(0.5), at(0.9), at(0.99), count, sum
+}
+
+// render writes the Prometheus text exposition. The gauges that describe
+// engine state (streams open, pool occupancy) are sampled by the caller
+// at scrape time and passed in.
+func (m *metrics) render(w io.Writer, open, pooled int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("bagcpd_streams_open", "Open detector streams.", int64(open))
+	gauge("bagcpd_detector_pool_free", "Warm detectors waiting in the recycle pool.", int64(pooled))
+	gauge("bagcpd_inflight_batches", "Push batches currently executing.", m.inflight.Load())
+	counter("bagcpd_push_batches_total", "Push batches accepted.", m.batches.Load())
+	counter("bagcpd_push_bags_total", "Bags ingested.", m.bags.Load())
+	counter("bagcpd_push_points_total", "Inspection points produced.", m.points.Load())
+	counter("bagcpd_push_row_errors_total", "Per-row push errors.", m.rowErrors.Load())
+	counter("bagcpd_push_rejected_total", "Push batches refused with 429 (back-pressure).", m.rejected.Load())
+	counter("bagcpd_evictions_total", "Idle streams evicted.", m.evictions.Load())
+	counter("bagcpd_snapshots_total", "Engine snapshots served.", m.snapshots.Load())
+	counter("bagcpd_restores_total", "Engine restores applied.", m.restores.Load())
+
+	q50, q90, q99, count, sum := m.quantiles()
+	fmt.Fprintf(w, "# HELP bagcpd_push_batch_seconds Push batch latency (window of last %d batches).\n", latencyWindow)
+	fmt.Fprint(w, "# TYPE bagcpd_push_batch_seconds summary\n")
+	fmt.Fprintf(w, "bagcpd_push_batch_seconds{quantile=\"0.5\"} %g\n", q50)
+	fmt.Fprintf(w, "bagcpd_push_batch_seconds{quantile=\"0.9\"} %g\n", q90)
+	fmt.Fprintf(w, "bagcpd_push_batch_seconds{quantile=\"0.99\"} %g\n", q99)
+	fmt.Fprintf(w, "bagcpd_push_batch_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "bagcpd_push_batch_seconds_count %d\n", count)
+}

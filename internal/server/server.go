@@ -1,0 +1,577 @@
+// Package server puts a stdlib-only net/http front-end on the
+// multi-stream detector engine: NDJSON batch ingest, stream lifecycle
+// endpoints, engine snapshot/restore for rebalancing streams across
+// instances, back-pressure, idle-stream eviction, and a Prometheus-style
+// metrics endpoint.
+//
+// Endpoints:
+//
+//	POST /v1/push                NDJSON rows {"stream": id, "bag": [[...],...]};
+//	                             the response streams back one NDJSON row per
+//	                             input row (pending / scored / error). 429 when
+//	                             the in-flight batch limit is reached.
+//	GET  /v1/streams             open streams with per-stream push counts and
+//	                             idle ages.
+//	POST /v1/streams/{id}/close  close one stream (its detector recycles into
+//	                             the engine pool; a later push restarts the
+//	                             stream from scratch).
+//	GET  /v1/snapshot            the full engine state as a versioned JSON
+//	                             envelope (core.EngineSnapshot). Pushes are
+//	                             paused while the snapshot is taken.
+//	POST /v1/restore             replace all engine state with an envelope
+//	                             previously served by /v1/snapshot — restored
+//	                             streams are bit-identical going forward to
+//	                             ones that never stopped.
+//	GET  /metrics                Prometheus text exposition.
+//	GET  /healthz                liveness probe.
+//
+// Concurrency model: push batches run concurrently up to
+// Config.MaxInFlight (back-pressure beyond that is the client's signal
+// to slow down). Concurrent batches touching the same stream are applied
+// atomically per batch, but their relative order is whatever arrival
+// order the engine sees — clients that need a deterministic stream must
+// serialize their own pushes, exactly as with Engine.PushBatch.
+// Snapshot and restore take an exclusive lock: they wait for running
+// batches to finish and hold new ones until the state transfer is done.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bag"
+	"repro/internal/core"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine is the detector engine the server fronts. Required; the
+	// server assumes ownership (all pushes and lifecycle changes must go
+	// through the server once it is constructed).
+	Engine *core.Engine
+	// MaxInFlight bounds the push batches executing concurrently; pushes
+	// beyond it are refused with 429. 0 selects DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxBatchBags bounds the rows of one push batch (a single giant
+	// batch would hold a back-pressure slot indefinitely). 0 selects
+	// DefaultMaxBatchBags.
+	MaxBatchBags int
+	// MaxBatchBytes bounds one push request's body size — the memory a
+	// request can make the server buffer, which the row cap alone does
+	// not (rows can be arbitrarily large). Requests beyond it are
+	// refused with 413. 0 selects DefaultMaxBatchBytes.
+	MaxBatchBytes int64
+	// IdleTTL evicts streams that have not been pushed to for this long:
+	// the stream is closed, its detector recycles into the pool, and its
+	// state is DISCARDED (a later push restarts the stream from scratch —
+	// snapshot first if the state matters). 0 disables eviction.
+	IdleTTL time.Duration
+	// EvictEvery is the eviction sweep period; 0 selects IdleTTL/4
+	// (clamped to at least a second).
+	EvictEvery time.Duration
+	// Now overrides the clock, for tests. nil selects time.Now.
+	Now func() time.Time
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxInFlight   = 32
+	DefaultMaxBatchBags  = 65536
+	DefaultMaxBatchBytes = 64 << 20
+)
+
+// Server is the HTTP front-end. Create with New, mount as an
+// http.Handler, and Close when done (stops the eviction janitor).
+type Server struct {
+	cfg Config
+	eng *core.Engine
+	mux *http.ServeMux
+	met metrics
+	now func() time.Time
+
+	sem chan struct{} // in-flight push slots (back-pressure)
+
+	// state is the push/snapshot phase lock: pushes, closes and evictions
+	// hold it shared; snapshot and restore hold it exclusively so the
+	// engine is quiescent while state is captured or replaced.
+	state sync.RWMutex
+
+	// mu guards the per-stream bookkeeping below.
+	mu       sync.Mutex
+	ticks    map[string]int       // next bag time index per stream
+	lastPush map[string]time.Time // last push wall time per stream
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+}
+
+// New validates cfg and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxInFlight < 1 {
+		return nil, fmt.Errorf("server: MaxInFlight must be >= 1, got %d", cfg.MaxInFlight)
+	}
+	if cfg.MaxBatchBags == 0 {
+		cfg.MaxBatchBags = DefaultMaxBatchBags
+	}
+	if cfg.MaxBatchBags < 1 {
+		return nil, fmt.Errorf("server: MaxBatchBags must be >= 1, got %d", cfg.MaxBatchBags)
+	}
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if cfg.MaxBatchBytes < 1 {
+		return nil, fmt.Errorf("server: MaxBatchBytes must be >= 1, got %d", cfg.MaxBatchBytes)
+	}
+	if cfg.IdleTTL < 0 {
+		return nil, fmt.Errorf("server: IdleTTL must be >= 0, got %v", cfg.IdleTTL)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		eng:      cfg.Engine,
+		mux:      http.NewServeMux(),
+		now:      cfg.Now,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		ticks:    make(map[string]int),
+		lastPush: make(map[string]time.Time),
+	}
+	s.mux.HandleFunc("POST /v1/push", s.handlePush)
+	s.mux.HandleFunc("GET /v1/streams", s.handleStreams)
+	s.mux.HandleFunc("POST /v1/streams/{id}/close", s.handleCloseStream)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	if cfg.IdleTTL > 0 {
+		every := cfg.EvictEvery
+		if every <= 0 {
+			every = cfg.IdleTTL / 4
+		}
+		if every < time.Second {
+			every = time.Second
+		}
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor(every)
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the eviction janitor. It does not shut down the engine —
+// the caller owns that decision (a process handing its streams to
+// another instance snapshots first, then shuts the engine down).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+			<-s.janitorDone
+		}
+	})
+	return nil
+}
+
+// pushRow is one NDJSON ingest row.
+type pushRow struct {
+	Stream string      `json:"stream"`
+	Bag    [][]float64 `json:"bag"`
+}
+
+// resultRow is one NDJSON response row, parallel to the input row.
+// BagT is the server-assigned time index of the pushed bag; scored rows
+// carry the inspection time T (which trails BagT by τ′−1 — the test
+// window must fill before a time can be judged).
+type resultRow struct {
+	Stream  string   `json:"stream"`
+	BagT    int      `json:"bag_t"`
+	Pending bool     `json:"pending,omitempty"`
+	T       *int     `json:"t,omitempty"`
+	Score   *float64 `json:"score,omitempty"`
+	Lo      *float64 `json:"lo,omitempty"`
+	Up      *float64 `json:"up,omitempty"`
+	Kappa   *float64 `json:"kappa,omitempty"` // absent while κ_t is undefined
+	Alarm   bool     `json:"alarm,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "too many in-flight push batches", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	// Parse the whole batch before touching the engine: a malformed line
+	// rejects the request instead of half-applying it. The body is
+	// byte-capped — the row cap alone would let one request buffer
+	// unbounded memory before any limit trips.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	rows, err := s.readRows(r)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch exceeds %d bytes", s.cfg.MaxBatchBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(rows) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+
+	s.state.RLock()
+	defer s.state.RUnlock()
+
+	// Assign each row its stream's next time index. The tick allocation
+	// is atomic per batch, so concurrent batches get disjoint label
+	// ranges even when they interleave on a stream.
+	batch := make([]core.StreamBag, len(rows))
+	bagT := make([]int, len(rows))
+	allocEnd := make(map[string]int) // where this batch left each stream's clock
+	start := s.now()
+	s.mu.Lock()
+	for i, row := range rows {
+		t := s.ticks[row.Stream]
+		s.ticks[row.Stream] = t + 1
+		allocEnd[row.Stream] = t + 1
+		bagT[i] = t
+		batch[i] = core.StreamBag{StreamID: row.Stream, Bag: bag.Bag{T: t, Points: row.Bag}}
+	}
+	s.mu.Unlock()
+
+	results, _ := s.eng.PushBatch(batch) // errors are carried per-row
+	if results == nil {
+		// The engine itself refused (shut down mid-flight).
+		http.Error(w, "engine is shut down", http.StatusServiceUnavailable)
+		return
+	}
+
+	end := s.now()
+	// Reconcile the tick clocks of streams that had failing rows: a
+	// failed (or skipped) bag consumed a tick label but never advanced
+	// its detector, and the restore bookkeeping contract is exactly
+	// "tick clock == detector count". The engine's Seq is the truth.
+	reseq := make(map[string]int)
+	for _, res := range results {
+		if res.Err == nil {
+			continue
+		}
+		if _, done := reseq[res.StreamID]; done {
+			continue
+		}
+		if st, ok := s.eng.Get(res.StreamID); ok {
+			reseq[res.StreamID] = st.Seq()
+		} else {
+			// The stream never opened (or is already gone): drop its
+			// bookkeeping so a later life starts from tick 0.
+			reseq[res.StreamID] = -1
+		}
+	}
+	s.mu.Lock()
+	for _, row := range rows {
+		s.lastPush[row.Stream] = end
+	}
+	for id, seq := range reseq {
+		// Reconcile only if no concurrent batch has moved the clock past
+		// this batch's allocation: rolling it back below labels another
+		// batch already issued would hand those labels out twice. The
+		// skipped reconciliation leaves the clock ahead of the detector
+		// count (labels skip values) — benign, and the interleaving
+		// batch's own reconciliation still runs.
+		if s.ticks[id] != allocEnd[id] {
+			continue
+		}
+		if seq < 0 {
+			delete(s.ticks, id)
+			delete(s.lastPush, id)
+		} else {
+			s.ticks[id] = seq
+		}
+	}
+	s.mu.Unlock()
+
+	out := bufio.NewWriter(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(out)
+	points, rowErrors := 0, 0
+	for i, res := range results {
+		rr := resultRow{Stream: res.StreamID, BagT: bagT[i]}
+		switch {
+		case res.Err != nil:
+			rowErrors++
+			rr.Error = res.Err.Error()
+		case res.Point == nil:
+			rr.Pending = true
+		default:
+			points++
+			p := res.Point
+			rr.T = &p.T
+			rr.Score = &p.Score
+			rr.Lo = &p.Interval.Lo
+			rr.Up = &p.Interval.Up
+			if !math.IsNaN(p.Kappa) {
+				rr.Kappa = &p.Kappa
+			}
+			rr.Alarm = p.Alarm
+		}
+		enc.Encode(&rr)
+	}
+	out.Flush()
+	s.met.observeBatch(end.Sub(start).Seconds(), len(rows), points, rowErrors)
+}
+
+// readRows parses the request body as NDJSON push rows.
+func (s *Server) readRows(r *http.Request) ([]pushRow, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var rows []pushRow
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var row pushRow
+		if err := json.Unmarshal([]byte(text), &row); err != nil {
+			return nil, lineErr(sc, line, err)
+		}
+		if row.Stream == "" {
+			return nil, lineErr(sc, line, errors.New("missing stream id"))
+		}
+		if len(row.Bag) == 0 {
+			return nil, lineErr(sc, line, errors.New("empty bag"))
+		}
+		if err := (bag.Bag{Points: row.Bag}).Validate(); err != nil {
+			return nil, lineErr(sc, line, err)
+		}
+		rows = append(rows, row)
+		if len(rows) > s.cfg.MaxBatchBags {
+			return nil, fmt.Errorf("batch exceeds %d bags", s.cfg.MaxBatchBags)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return rows, nil
+}
+
+// lineErr reports a per-line parse error — unless the scanner already hit
+// a read error (the byte cap truncating the final line mid-token): the
+// scanner still yields the truncated tail as a token, and the truncation,
+// not the garbage it produced, is the real failure.
+func lineErr(sc *bufio.Scanner, line int, err error) error {
+	if scErr := sc.Err(); scErr != nil {
+		return fmt.Errorf("reading body: %w", scErr)
+	}
+	return fmt.Errorf("line %d: %v", line, err)
+}
+
+// streamInfo is one row of GET /v1/streams.
+type streamInfo struct {
+	ID          string  `json:"id"`
+	Pushed      int     `json:"pushed"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, _ *http.Request) {
+	s.state.RLock()
+	defer s.state.RUnlock()
+	now := s.now()
+	ids := s.eng.StreamIDs()
+	infos := make([]streamInfo, 0, len(ids))
+	s.mu.Lock()
+	for _, id := range ids {
+		info := streamInfo{ID: id}
+		info.Pushed = s.ticks[id]
+		if last, ok := s.lastPush[id]; ok {
+			info.IdleSeconds = now.Sub(last).Seconds()
+		}
+		infos = append(infos, info)
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"streams": infos})
+}
+
+func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Exclusive, not shared: a close racing an in-flight push under the
+	// shared lock could tear the stream down between the push being
+	// applied (and acknowledged 200) and its bookkeeping update.
+	s.state.Lock()
+	defer s.state.Unlock()
+	st, ok := s.eng.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("stream %q is not open", id), http.StatusNotFound)
+		return
+	}
+	st.Close()
+	s.forget(id)
+	writeJSON(w, map[string]any{"closed": id})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	// Exclusive: waits for in-flight pushes, holds new ones. The engine
+	// is fully quiescent for the duration, so the captured state is a
+	// consistent cut across every stream.
+	s.state.Lock()
+	snap, err := s.eng.Snapshot()
+	s.state.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.met.snapshots.Add(1)
+	writeJSON(w, snap)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var snap core.EngineSnapshot
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&snap); err != nil {
+		http.Error(w, fmt.Sprintf("decoding snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	s.state.Lock()
+	defer s.state.Unlock()
+	// Vet the envelope BEFORE tearing anything down: a mismatched
+	// version or configuration fingerprint must answer 409 with the
+	// server's live streams untouched, not wipe them first.
+	if err := s.eng.ValidateSnapshot(&snap); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	// Restore REPLACES state: close whatever is open (their detectors
+	// recycle into the pool and are immediately reused by the restored
+	// streams), then rebuild from the envelope.
+	s.eng.CloseAll()
+	if err := s.eng.Restore(&snap); err != nil {
+		// A failed restore may leave a partial stream set; don't serve it.
+		s.eng.CloseAll()
+		s.resetBookkeeping(nil)
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.resetBookkeeping(&snap)
+	s.met.restores.Add(1)
+	writeJSON(w, map[string]any{"restored": len(snap.Streams)})
+}
+
+// resetBookkeeping rebuilds the per-stream tick clocks and idle stamps
+// after a restore (or clears them when snap is nil).
+func (s *Server) resetBookkeeping(snap *core.EngineSnapshot) {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.ticks)
+	clear(s.lastPush)
+	if snap == nil {
+		return
+	}
+	for i := range snap.Streams {
+		ss := &snap.Streams[i]
+		s.ticks[ss.ID] = ss.Detector.Count
+		s.lastPush[ss.ID] = now
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	stats := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, stats.Open, stats.PooledFree)
+}
+
+// forget drops the per-stream bookkeeping of a closed stream: its next
+// life starts from scratch, tick 0 included.
+func (s *Server) forget(id string) {
+	s.mu.Lock()
+	delete(s.ticks, id)
+	delete(s.lastPush, id)
+	s.mu.Unlock()
+}
+
+// EvictIdle closes every stream idle for at least ttl and returns the
+// evicted ids (sorted). The janitor calls it periodically; tests call it
+// directly with a synthetic clock. It holds the exclusive phase lock:
+// with pushes excluded, the idle stamps it decides on cannot go stale
+// mid-sweep, so a stream whose bags were just applied can never be
+// evicted out from under its acknowledgement.
+func (s *Server) EvictIdle(ttl time.Duration) []string {
+	s.state.Lock()
+	defer s.state.Unlock()
+	now := s.now()
+	var evicted []string
+	for _, id := range s.eng.StreamIDs() {
+		s.mu.Lock()
+		last, seen := s.lastPush[id]
+		if !seen {
+			// A stream the server has no stamp for (restored then never
+			// pushed, or opened out-of-band): start its idle clock now.
+			s.lastPush[id] = now
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		if now.Sub(last) < ttl {
+			continue
+		}
+		if st, ok := s.eng.Get(id); ok {
+			st.Close()
+			s.forget(id)
+			evicted = append(evicted, id)
+		}
+	}
+	sort.Strings(evicted)
+	s.met.evictions.Add(uint64(len(evicted)))
+	return evicted
+}
+
+func (s *Server) janitor(every time.Duration) {
+	defer close(s.janitorDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.EvictIdle(s.cfg.IdleTTL)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -135,6 +135,22 @@ type Builder interface {
 // shared instance, provided Build is stateless and concurrency-safe.
 type BuilderFactory func(seed int64) Builder
 
+// RNGSnapshotter is implemented by builders whose Build consumes RNG
+// draws (k-means, k-medoids): their signature stream is a function of
+// the RNG position, so checkpointing a detector mid-run requires
+// exporting that position and restoring it onto the factory-fresh
+// builder of the resumed stream. Stateless builders (histogram, grid,
+// online) deliberately do not implement it — they have nothing to
+// checkpoint.
+type RNGSnapshotter interface {
+	// RNGState returns the builder's current RNG stream position.
+	RNGState() randx.State
+	// RestoreRNGState positions the builder's RNG at st; after it the
+	// builder's future signatures are bit-identical to the builder the
+	// state was captured from.
+	RestoreRNGState(st randx.State) error
+}
+
 // KMeansFactory returns a factory of independently seeded k-means
 // builders: factory(seed) behaves exactly like
 // NewKMeansBuilder(k, cfg, randx.New(seed)).
@@ -205,6 +221,12 @@ func (kb *KMeansBuilder) Build(b bag.Bag) (Signature, error) {
 // without allocating a new one.
 func (kb *KMeansBuilder) Reseed(seed int64) { kb.rng.Reseed(seed) }
 
+// RNGState implements RNGSnapshotter.
+func (kb *KMeansBuilder) RNGState() randx.State { return kb.rng.State() }
+
+// RestoreRNGState implements RNGSnapshotter.
+func (kb *KMeansBuilder) RestoreRNGState(st randx.State) error { return kb.rng.Restore(st) }
+
 // KMedoidsBuilder quantizes bags with k-medoids.
 type KMedoidsBuilder struct {
 	k   int
@@ -232,6 +254,12 @@ func (kb *KMedoidsBuilder) Build(b bag.Bag) (Signature, error) {
 // Reseed rewinds the builder's RNG to the stream of randx.New(seed); see
 // (*KMeansBuilder).Reseed.
 func (kb *KMedoidsBuilder) Reseed(seed int64) { kb.rng.Reseed(seed) }
+
+// RNGState implements RNGSnapshotter.
+func (kb *KMedoidsBuilder) RNGState() randx.State { return kb.rng.State() }
+
+// RestoreRNGState implements RNGSnapshotter.
+func (kb *KMedoidsBuilder) RestoreRNGState(st randx.State) error { return kb.rng.Restore(st) }
 
 // OnlineBuilder quantizes bags with one-pass competitive learning
 // (unsupervised LVQ), suitable for very large bags.

@@ -70,6 +70,7 @@ import (
 	"repro/internal/featsel"
 	"repro/internal/innovate"
 	"repro/internal/mds"
+	"repro/internal/server"
 	"repro/internal/signature"
 )
 
@@ -322,6 +323,18 @@ func WithWorkers(n int) Option {
 	return Option{func(c *core.EngineConfig) { c.Workers = n }}
 }
 
+// WithBuilderTag names the builder-factory configuration as an opaque
+// string included in the snapshot fingerprint (e.g.
+// "hist(lo=-8,hi=12,bins=30)"). Factories are code, so Engine.Restore
+// cannot compare their parameters directly; engines whose tags differ
+// refuse each other's snapshots, turning a builder-parameter mismatch
+// during rebalancing into a loud error instead of silently different
+// scores. Deployments that construct the factory from configuration
+// should derive the tag from the same configuration.
+func WithBuilderTag(tag string) Option {
+	return Option{func(c *core.EngineConfig) { c.BuilderTag = tag }}
+}
+
 // NewEngine builds an Engine from functional options and validates the
 // resulting configuration: WithTau, WithTauPrime and WithBuilderFactory
 // are required, everything else has the same defaults as Config.
@@ -332,6 +345,45 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	}
 	return core.NewEngine(cfg)
 }
+
+// EngineStats is a point-in-time census of an engine's resources
+// (Engine.Stats): open streams and pooled free detectors.
+type EngineStats = core.Stats
+
+// EngineSnapshot is the versioned serializable envelope of a whole
+// engine's state — one entry per open stream carrying its detector's
+// window, rolling log-EMD matrix, interval history, bootstrap shard
+// stream positions and (for randomized builders) builder RNG position.
+// Produce with Engine.Snapshot, ship as JSON, and feed to Engine.Restore
+// on an identically configured engine: every restored stream is
+// bit-identical going forward to one that never stopped. This is the
+// rebalancing primitive — streams move between engine instances by
+// snapshotting on one and restoring on another.
+type EngineSnapshot = core.EngineSnapshot
+
+// SnapshotVersion is the EngineSnapshot schema version Restore accepts.
+const SnapshotVersion = core.SnapshotVersion
+
+// --- HTTP server front-end ---------------------------------------------------
+
+// Server is the stdlib-only net/http front-end over an Engine: NDJSON
+// batch ingest with back-pressure (POST /v1/push), stream lifecycle
+// (GET /v1/streams, POST /v1/streams/{id}/close), engine state transfer
+// (GET /v1/snapshot, POST /v1/restore), idle-stream TTL eviction, and a
+// Prometheus-style GET /metrics. See internal/server for the endpoint
+// and wire-format documentation, and README.md for the HTTP API guide.
+type Server = server.Server
+
+// ServerConfig parameterizes NewServer: the Engine it fronts (required),
+// MaxInFlight push batches (back-pressure; 429 beyond it), MaxBatchBags
+// per request, and the IdleTTL/EvictEvery eviction knobs.
+type ServerConfig = server.Config
+
+// NewServer validates cfg and returns a ready HTTP front-end; mount it
+// as an http.Handler and Close it when done (stops the eviction
+// janitor). The server assumes ownership of the engine: all pushes and
+// lifecycle changes must go through it.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Alarms extracts the inspection times with raised alarms.
 func Alarms(points []Point) []int { return core.Alarms(points) }
