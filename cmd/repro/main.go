@@ -9,6 +9,7 @@
 //	repro -exp ablation        # the DESIGN.md §5 design-choice studies
 //	repro -exp engine          # multi-stream engine scale-out demo
 //	repro -exp pairwise        # tiled + sharded pairwise-EMD demo
+//	repro -exp solverscale     # classic vs block-pricing EMD solver study
 //
 // The pairwise experiment also exposes the multi-process sharding flow:
 // each shard process computes its tile subset of the corpus matrix and
@@ -42,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig6|table1|fig7|fig10|fig11|ablation|engine|pairwise|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig6|table1|fig7|fig10|fig11|ablation|engine|pairwise|solverscale|all")
 	seed := flag.Int64("seed", 1, "master RNG seed")
 	scale := flag.String("scale", "full", "workload scale: full|small")
 	shard := flag.String("shard", "", "with -exp pairwise: compute shard i/k of the corpus matrix and emit the partial as JSON")
@@ -157,9 +158,20 @@ func main() {
 			}
 			return r.Report, nil
 		},
+		"solverscale": func() (string, error) {
+			opts := experiments.SolverScaleOptions{}
+			if small {
+				opts = experiments.SolverScaleOptions{Ks: []int{16, 32, 64}, Pairs: 2}
+			}
+			r, err := experiments.SolverScale(*seed, opts)
+			if err != nil {
+				return "", err
+			}
+			return r.Report, nil
+		},
 	}
 
-	order := []string{"fig1", "fig6", "table1", "fig7", "fig10", "fig11", "ablation", "engine", "pairwise"}
+	order := []string{"fig1", "fig6", "table1", "fig7", "fig10", "fig11", "ablation", "engine", "pairwise", "solverscale"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

@@ -97,6 +97,16 @@ type Config struct {
 	// EMD a proper metric between the bag distributions and is the
 	// behaviour used for all reproduced experiments.
 	RawMass bool
+	// EMDLargeK overrides the signature size at which the detector's EMD
+	// solver switches to the block-pricing large-signature path: 0
+	// selects emd.DefaultLargeThreshold (128), a negative value pins the
+	// classic solver at every size, and a positive value is the
+	// threshold. Both paths return the same optimal EMD to rounding, but
+	// on degenerate instances they may settle on different equally
+	// optimal bases whose costs differ in the last bits — so the
+	// threshold is part of the engine snapshot fingerprint and must be
+	// held fixed wherever bit-identical scores are promised.
+	EMDLargeK int
 	// Seed drives the bootstrap resampling (and nothing else).
 	Seed int64
 }
@@ -176,7 +186,7 @@ func New(cfg Config) (*Detector, error) {
 	d := &Detector{
 		cfg:     cfg,
 		history: make(map[int]bootstrap.Interval),
-		solver:  emd.NewSolver(),
+		solver:  emd.NewSolver(emd.WithLargeThreshold(cfg.EMDLargeK)),
 		// Persistent shard streams seeded from Config.Seed: the detector
 		// pays no per-push reseeding cost and its output is a deterministic
 		// function of Seed and the pushed sequence, independent of the

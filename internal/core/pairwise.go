@@ -126,6 +126,7 @@ type pairwiseCfg struct {
 	factorySeed int64
 	ground      emd.Ground
 	rawMass     bool
+	largeK      int   // emd.WithLargeThreshold for every worker solver
 	err         error // first option error, reported at the call site
 }
 
@@ -220,6 +221,18 @@ func WithPairGround(g emd.Ground) PairwiseOpt {
 // different sizes.
 func WithPairRawMass(raw bool) PairwiseOpt {
 	return func(c *pairwiseCfg) { c.rawMass = raw }
+}
+
+// WithPairEMDLargeThreshold sets the signature size at which every
+// worker's EMD solver switches to the block-pricing large-signature
+// path: 0 (the default) selects emd.DefaultLargeThreshold, negative
+// pins the classic solver. Both paths compute the same optimal EMD to
+// rounding, but degenerate instances may settle on bases whose costs
+// differ in the last bits, so all shards of one sharded run must use
+// the same threshold for the merged matrix to be bit-identical to a
+// single-process run.
+func WithPairEMDLargeThreshold(k int) PairwiseOpt {
+	return func(c *pairwiseCfg) { c.largeK = k }
 }
 
 func resolvePairwise(opts []PairwiseOpt) (pairwiseCfg, error) {
@@ -401,7 +414,7 @@ func computeTiles(sigs []signature.Signature, flat []float64, packed [][]float64
 		workers = len(tiles)
 	}
 	if workers <= 1 {
-		sv := emd.NewSolver()
+		sv := emd.NewSolver(emd.WithLargeThreshold(cfg.largeK))
 		sv.Prewarm(maxLen)
 		sweep(sv)
 	} else {
@@ -410,7 +423,7 @@ func computeTiles(sigs []signature.Signature, flat []float64, packed [][]float64
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				sv := emd.NewSolver()
+				sv := emd.NewSolver(emd.WithLargeThreshold(cfg.largeK))
 				sv.Prewarm(maxLen)
 				sweep(sv)
 			}()

@@ -33,7 +33,17 @@ import (
 // SnapshotVersion is the envelope schema version. Restore refuses other
 // versions: the snapshot encodes internal stream positions whose meaning
 // is tied to the code that wrote them.
-const SnapshotVersion = 1
+//
+// v2 added the EMD large-path threshold (emd_large_k) to the
+// fingerprint AND changed what a default configuration computes:
+// detectors now auto-route signatures at or above
+// emd.DefaultLargeThreshold through the block-pricing solver, whose
+// optimal cost can differ from the classic path's in the last bits on
+// degenerate instances. A v1 envelope restored here could therefore
+// diverge from its source run without any fingerprint field
+// disagreeing, so v1 is refused outright — a loud re-run beats a
+// silent drift.
+const SnapshotVersion = 2
 
 // SignatureState is one window signature in serializable form.
 type SignatureState struct {
@@ -189,6 +199,7 @@ type EngineSnapshot struct {
 	LogFloor   float64          `json:"log_floor"`
 	Replicates int              `json:"replicates"`
 	Alpha      float64          `json:"alpha"`
+	EMDLargeK  int              `json:"emd_large_k,omitempty"`
 	BuilderTag string           `json:"builder_tag,omitempty"`
 	Streams    []StreamSnapshot `json:"streams"`
 }
@@ -208,6 +219,7 @@ func (e *Engine) fingerprint() EngineSnapshot {
 		LogFloor:   t.LogFloor,
 		Replicates: t.Bootstrap.Replicates,
 		Alpha:      t.Bootstrap.Alpha,
+		EMDLargeK:  t.EMDLargeK,
 		BuilderTag: e.cfg.BuilderTag,
 	}
 }
@@ -215,7 +227,8 @@ func (e *Engine) fingerprint() EngineSnapshot {
 // ValidateSnapshot checks that snap could be restored onto this engine —
 // the schema version is readable and the configuration fingerprint
 // (seed, τ, τ′, score, weighting, raw-mass, log-floor, replicates, α,
-// builder tag) matches — without touching any state. A server front-end
+// EMD large-path threshold, builder tag) matches — without touching any
+// state. A server front-end
 // calls it BEFORE tearing down live streams, so a rejected envelope
 // leaves the receiving engine exactly as it was.
 func (e *Engine) ValidateSnapshot(snap *EngineSnapshot) error {
@@ -226,7 +239,7 @@ func (e *Engine) ValidateSnapshot(snap *EngineSnapshot) error {
 	mismatch := snap.Seed != want.Seed || snap.Tau != want.Tau || snap.TauPrime != want.TauPrime ||
 		snap.Score != want.Score || snap.Weighting != want.Weighting || snap.RawMass != want.RawMass ||
 		snap.LogFloor != want.LogFloor || snap.Replicates != want.Replicates || snap.Alpha != want.Alpha ||
-		snap.BuilderTag != want.BuilderTag
+		snap.EMDLargeK != want.EMDLargeK || snap.BuilderTag != want.BuilderTag
 	if mismatch {
 		got := *snap
 		got.Streams = nil

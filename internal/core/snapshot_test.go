@@ -237,6 +237,15 @@ func TestEngineRestoreValidation(t *testing.T) {
 		if err := newTestEngine(t, factory, 1).Restore(&bad); err == nil {
 			t.Fatal("expected builder tag mismatch error")
 		}
+		// The EMD large-path threshold selects which (equally optimal)
+		// basis degenerate instances settle on, so engines that disagree
+		// on it must refuse each other's snapshots instead of silently
+		// diverging in the last bits.
+		bad = *snap
+		bad.EMDLargeK = 64
+		if err := newTestEngine(t, factory, 1).Restore(&bad); err == nil {
+			t.Fatal("expected EMD large-threshold mismatch error")
+		}
 	})
 	t.Run("open-streams", func(t *testing.T) {
 		target := newTestEngine(t, factory, 1)

@@ -1,0 +1,451 @@
+package emd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Block-pricing transportation simplex for large signatures (K ≫ 128).
+//
+// The classic path (simplex.go) materializes the full m×n cost matrix up
+// front, refills its per-row pricing candidates with a full O(m·n)
+// sweep whenever they drain, and executes every pivot with two
+// whole-tree BFS passes (cycle search + potential-shift component).
+// Profiles at K=512 put ~44% of the time in the refill sweeps and ~50%
+// in those per-pivot tree passes; both grow with K and neither does
+// useful transport work.
+//
+// This path replaces both:
+//
+//   - Pricing: Dantzig-style candidate-list pricing over fixed-size row
+//     blocks. Cost rows are computed lazily, a block at a time, the
+//     first time pricing scans them — the matrix backing store is
+//     reused solver scratch, but the O(K²) ground-distance evaluations
+//     are deferred until pricing actually reaches each row. A refill
+//     scans blocks cyclically, RESUMING WHERE THE PREVIOUS REFILL
+//     STOPPED, and shrinks to a target of m/4 refreshed rows instead of
+//     the classic full sweep; only a refill that wraps through every
+//     block without finding a negative reduced cost declares
+//     optimality, so the certificate is still a full Dantzig sweep
+//     against the final potentials. Basis-cell costs are carried in
+//     basisC (filled per cell, not per row), so building the
+//     northwest-corner initial basis costs O(m+n) ground evaluations
+//     rather than forcing O(m·n) rows.
+//
+//   - Pivoting: the basis tree is kept ROOTED (parentNode/parentArc/
+//     depth per node), in the style of network-simplex implementations
+//     with strongly feasible bases. The cycle closed by an entering
+//     cell is found by walking the two endpoints up to their lowest
+//     common ancestor — O(cycle length) — and the leaving arc detaches
+//     a subtree that is re-hung from the entering arc with one BFS over
+//     just that subtree, which simultaneously repairs parents, depths,
+//     and the MODI potentials (every node in the detached subtree
+//     shifts by the entering cell's reduced cost). Per-pivot cost drops
+//     from O(m+n) to O(cycle + detached subtree).
+//
+// Degeneracy is handled exactly as on the classic path: the identical
+// Charnes perturbation of the supplies prevents cycling, and a periodic
+// full rebuild keeps float drift in the incrementally updated
+// potentials in check. Both paths solve the same perturbed problem and
+// return the same optimal cost to rounding; degenerate instances may
+// settle on different (equally optimal) bases, which is why the
+// conformance suite (fuzz_test.go, enum_test.go) checks cost equality
+// rather than basis equality, and why the pricing configuration is
+// pinned wherever bit-identity is promised.
+
+// solveLarge runs the block-pricing transportation simplex on the
+// problem staged by prepareLarge. The contract matches solve: Σ supply
+// must equal Σ demand, the optimal basis is left in basisI/basisJ/
+// basisF, and the objective over non-residue flows is returned.
+func (sv *Solver) solveLarge() (totalCost float64, err error) {
+	defer sv.releaseLazy()
+	m, n := sv.m, sv.n
+	eps, nb, err := sv.stageSimplex()
+	if err != nil {
+		return 0, err
+	}
+	// Large-path extras on top of the shared scratch.
+	sv.basisC = growFloats(sv.basisC, nb)
+	sv.parentNode = growInts(sv.parentNode, m+n)
+	sv.parentArc = growInts(sv.parentArc, m+n)
+	sv.depth = growInts(sv.depth, m+n)
+	if cap(sv.cycA) < nb {
+		sv.cycA = make([]int, 0, nb)
+	}
+	if cap(sv.cycB) < nb {
+		sv.cycB = make([]int, 0, nb)
+	}
+	if cap(sv.path) < nb {
+		sv.path = make([]int, 0, nb)
+	}
+
+	// Initial basis-cell costs: one lazy lookup per cell, never a full
+	// row.
+	for bi := 0; bi < nb; bi++ {
+		c, cerr := sv.lazyCost(sv.basisI[bi], sv.basisJ[bi])
+		if cerr != nil {
+			return 0, cerr
+		}
+		sv.basisC[bi] = c
+	}
+
+	if err := sv.buildTreeLarge(); err != nil {
+		return 0, err
+	}
+
+	maxIters := 200 + 20*m*n
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return 0, fmt.Errorf("emd: simplex did not converge in %d iterations (%dx%d)", maxIters, m, n)
+		}
+		if iter%128 == 127 {
+			// Periodic full rebuild: the incremental potential shifts
+			// accumulate rounding drift just like the classic path's.
+			if err := sv.buildTreeLarge(); err != nil {
+				return 0, err
+			}
+		}
+		enterI, enterJ, r, ok, perr := sv.priceEnterLarge()
+		if perr != nil {
+			return 0, perr
+		}
+		if !ok {
+			break // optimal
+		}
+		sv.statPivots++
+		if err := sv.pivotLarge(enterI, enterJ, r); err != nil {
+			return 0, err
+		}
+	}
+
+	// Objective over the optimal basis; clamp perturbation-sized flows.
+	clamp := eps * float64(m+n) * 4
+	sv.eps = eps
+	for bi := 0; bi < nb; bi++ {
+		f := sv.basisF[bi]
+		if f <= clamp {
+			continue
+		}
+		totalCost += f * sv.basisC[bi]
+	}
+	return totalCost, nil
+}
+
+// buildTreeLarge roots the basis tree at row 0 and computes, in one
+// BFS over the adjacency lists, the parent/arc/depth structure and the
+// MODI potentials u_i + v_j = c_ij (costs from basisC, so no lazy cost
+// row is forced).
+func (sv *Solver) buildTreeLarge() error {
+	m, n := sv.m, sv.n
+	for i := 0; i < m; i++ {
+		sv.uSet[i] = false
+	}
+	for j := 0; j < n; j++ {
+		sv.vSet[j] = false
+	}
+	sv.u[0], sv.uSet[0] = 0, true
+	sv.parentNode[0], sv.parentArc[0], sv.depth[0] = -1, -1, 0
+	queue := sv.queue[:0]
+	queue = append(queue, 0)
+	for head := 0; head < len(queue); head++ {
+		node := queue[head]
+		if node < m {
+			i := node
+			ui := sv.u[i]
+			d := sv.depth[i] + 1
+			for bi := sv.rowHead[i]; bi != -1; bi = sv.rowNext[bi] {
+				j := sv.basisJ[bi]
+				if !sv.vSet[j] {
+					sv.v[j] = sv.basisC[bi] - ui
+					sv.vSet[j] = true
+					sv.parentNode[m+j], sv.parentArc[m+j], sv.depth[m+j] = i, bi, d
+					queue = append(queue, m+j)
+				}
+			}
+		} else {
+			j := node - m
+			vj := sv.v[j]
+			d := sv.depth[node] + 1
+			for bi := sv.colHead[j]; bi != -1; bi = sv.colNext[bi] {
+				i := sv.basisI[bi]
+				if !sv.uSet[i] {
+					sv.u[i] = sv.basisC[bi] - vj
+					sv.uSet[i] = true
+					sv.parentNode[i], sv.parentArc[i], sv.depth[i] = node, bi, d
+					queue = append(queue, i)
+				}
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if !sv.uSet[i] {
+			return fmt.Errorf("emd: internal: basis tree disconnected at row %d", i)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if !sv.vSet[j] {
+			return fmt.Errorf("emd: internal: basis tree disconnected at column %d", j)
+		}
+	}
+	return nil
+}
+
+// pivotLarge performs one simplex pivot on the rooted basis tree: the
+// cycle through the entering cell (enterI, enterJ) is the tree path
+// between its endpoints (found via depth-aligned walks to the lowest
+// common ancestor), θ flows around it, and the leaving arc's detached
+// subtree is re-hung from the entering arc by a single BFS that repairs
+// parents, depths, and potentials together.
+func (sv *Solver) pivotLarge(enterI, enterJ int, r float64) error {
+	m := sv.m
+	jNode := m + enterJ
+
+	// Tree path between enterI and jNode: walk the deeper endpoint up
+	// until depths align, then both until they meet.
+	cycA := sv.cycA[:0] // arcs from enterI up to the LCA
+	cycB := sv.cycB[:0] // arcs from jNode up to the LCA
+	a, b := enterI, jNode
+	for sv.depth[a] > sv.depth[b] {
+		cycA = append(cycA, sv.parentArc[a])
+		a = sv.parentNode[a]
+	}
+	for sv.depth[b] > sv.depth[a] {
+		cycB = append(cycB, sv.parentArc[b])
+		b = sv.parentNode[b]
+	}
+	for a != b {
+		cycA = append(cycA, sv.parentArc[a])
+		a = sv.parentNode[a]
+		cycB = append(cycB, sv.parentArc[b])
+		b = sv.parentNode[b]
+	}
+	sv.cycA, sv.cycB = cycA, cycB
+
+	// Assemble the cycle in the classic path order — from the enterJ
+	// side to the enterI side — so the even positions are the −θ arcs
+	// and the leaving-arc tie-break (first minimum) matches.
+	path := sv.path[:0]
+	path = append(path, cycB...)
+	for q := len(cycA) - 1; q >= 0; q-- {
+		path = append(path, cycA[q])
+	}
+	sv.path = path
+	if len(path) == 0 {
+		return fmt.Errorf("emd: internal: no cycle for entering cell (%d,%d)", enterI, enterJ)
+	}
+	theta := math.Inf(1)
+	leave := -1
+	leavePos := -1
+	for p := 0; p < len(path); p += 2 {
+		bi := path[p]
+		if sv.basisF[bi] < theta {
+			theta = sv.basisF[bi]
+			leave = bi
+			leavePos = p
+		}
+	}
+	if leave == -1 {
+		return fmt.Errorf("emd: internal: unbounded pivot")
+	}
+	for p, bi := range path {
+		if p%2 == 0 {
+			sv.basisF[bi] -= theta
+			if sv.basisF[bi] < 0 {
+				sv.basisF[bi] = 0 // rounding residue
+			}
+		} else {
+			sv.basisF[bi] += theta
+		}
+	}
+
+	// Swap the leaving cell for the entering one in the basis arrays and
+	// adjacency lists.
+	oldI, oldJ := sv.basisI[leave], sv.basisJ[leave]
+	sv.removeRowArc(oldI, leave)
+	sv.removeColArc(oldJ, leave)
+	sv.basisI[leave], sv.basisJ[leave], sv.basisF[leave] = enterI, enterJ, theta
+	sv.basisC[leave] = sv.cost[enterI*sv.n+enterJ] // pricing only proposes computed rows
+	sv.rowNext[leave] = sv.rowHead[enterI]
+	sv.rowHead[enterI] = leave
+	sv.colNext[leave] = sv.colHead[enterJ]
+	sv.colHead[enterJ] = leave
+
+	// Removing the leaving arc detached the subtree that contained
+	// whichever entering endpoint reached the leaving arc on its walk:
+	// positions < len(cycB) lie on the enterJ side. Re-hang that subtree
+	// from the entering arc and shift its potentials by ±r so
+	// u[enterI] + v[enterJ] = c holds again; nodes outside it keep their
+	// potentials, exactly like the classic incremental update (the two
+	// choices differ by a global constant that reduced costs cancel).
+	start, from := enterI, jNode
+	rowShift, colShift := r, -r
+	if leavePos < len(cycB) {
+		start, from = jNode, enterI
+		rowShift, colShift = -r, r
+	}
+	sv.rehang(start, from, leave, rowShift, colShift)
+	return nil
+}
+
+// rehang re-roots the detached subtree at node start, whose new parent
+// is node from via basis arc arc, repairing parentNode/parentArc/depth
+// and shifting every subtree node's potential (rows by rowShift,
+// columns by colShift) in one BFS. In a tree each node is reached
+// exactly once, so skipping the arrival arc is the only visited check
+// needed.
+func (sv *Solver) rehang(start, from, arc int, rowShift, colShift float64) {
+	m := sv.m
+	sv.parentNode[start], sv.parentArc[start] = from, arc
+	sv.depth[start] = sv.depth[from] + 1
+	if start < m {
+		sv.u[start] += rowShift
+	} else {
+		sv.v[start-m] += colShift
+	}
+	queue := sv.queue[:0]
+	queue = append(queue, start)
+	for head := 0; head < len(queue); head++ {
+		node := queue[head]
+		in := sv.parentArc[node]
+		d := sv.depth[node] + 1
+		if node < m {
+			for bi := sv.rowHead[node]; bi != -1; bi = sv.rowNext[bi] {
+				if bi == in {
+					continue
+				}
+				nj := m + sv.basisJ[bi]
+				sv.parentNode[nj], sv.parentArc[nj], sv.depth[nj] = node, bi, d
+				sv.v[sv.basisJ[bi]] += colShift
+				queue = append(queue, nj)
+			}
+		} else {
+			j := node - m
+			for bi := sv.colHead[j]; bi != -1; bi = sv.colNext[bi] {
+				if bi == in {
+					continue
+				}
+				ni := sv.basisI[bi]
+				sv.parentNode[ni], sv.parentArc[ni], sv.depth[ni] = node, bi, d
+				sv.u[ni] += rowShift
+				queue = append(queue, ni)
+			}
+		}
+	}
+}
+
+// priceEnterLarge picks the entering cell with candidate-list block
+// pricing. The drain is the classic one: re-price the cached per-row
+// candidates against the current potentials and take the most negative
+// survivor, O(m) per pivot. The refill is where the paths diverge: rows
+// are grouped into fixed-size blocks, the scan starts at the cursor
+// left by the previous refill, rows are lazily computed as the scan
+// reaches them, and the refill shrinks to a target of refillRowTarget
+// refreshed rows instead of the classic full sweep. Only a refill that
+// wraps through every block without a find returns ok=false — by then
+// every row has been computed and freshly priced, so that is the
+// classic full-sweep optimality certificate.
+func (sv *Solver) priceEnterLarge() (enterI, enterJ int, r float64, ok bool, err error) {
+	m, n := sv.m, sv.n
+	tol := 1e-10 * (1 + sv.maxCost)
+
+	// Drain: re-price the cached per-row candidates.
+	bestI := -1
+	worst := -tol
+	for i := 0; i < m; i++ {
+		j := sv.cand[i]
+		if j < 0 {
+			continue
+		}
+		if rc := sv.cost[i*n+j] - sv.u[i] - sv.v[j]; rc < worst {
+			worst = rc
+			bestI = i
+		}
+	}
+	if bestI >= 0 {
+		return bestI, sv.cand[bestI], worst, true, nil
+	}
+
+	// Refill: cyclic block scan resuming at the cursor. One block of
+	// fresh candidates is rarely enough to keep the entering choices
+	// steep — pivot counts blow up and eat the refill savings — so the
+	// refill keeps scanning until it has both found a candidate and
+	// refreshed refillRowTarget rows, shrinking to that floor instead
+	// of the classic full sweep.
+	bsz := sv.priceB
+	if bsz <= 0 {
+		bsz = DefaultPricingBlock
+	}
+	nblk := (m + bsz - 1) / bsz
+	target := sv.refillRowTarget()
+	bestI = -1
+	rowsScanned := 0
+	for scanned := 0; scanned < nblk; scanned++ {
+		blk := sv.blockCur + scanned
+		if blk >= nblk {
+			blk -= nblk
+		}
+		iLo := blk * bsz
+		iHi := iLo + bsz
+		if iHi > m {
+			iHi = m
+		}
+		rowsScanned += iHi - iLo
+		sv.statRefillRows += iHi - iLo
+		for i := iLo; i < iHi; i++ {
+			if !sv.rowReady[i] {
+				if err := sv.fillRow(i); err != nil {
+					return 0, 0, 0, false, err
+				}
+			}
+			// Newly computed rows can raise maxCost; keep the tolerance
+			// in step so candidate acceptance matches the final sweep.
+			tol = 1e-10 * (1 + sv.maxCost)
+			ui := sv.u[i]
+			row := sv.cost[i*n : (i+1)*n]
+			bestJ := -1
+			rowWorst := -tol
+			for j := 0; j < n; j++ {
+				if rc := row[j] - ui - sv.v[j]; rc < rowWorst {
+					rowWorst = rc
+					bestJ = j
+				}
+			}
+			sv.cand[i] = bestJ
+			if bestJ >= 0 && (bestI < 0 || rowWorst < worst) {
+				bestI = i
+				worst = rowWorst
+			}
+		}
+		if bestI >= 0 && rowsScanned >= target {
+			// Resume the NEXT refill after this block.
+			sv.blockCur = blk + 1
+			if sv.blockCur >= nblk {
+				sv.blockCur = 0
+			}
+			return bestI, sv.cand[bestI], worst, true, nil
+		}
+	}
+	if bestI < 0 {
+		return 0, 0, 0, false, nil
+	}
+	// Candidates surfaced only while completing the wrap; the cursor
+	// position is immaterial because every block was just refreshed.
+	return bestI, sv.cand[bestI], worst, true, nil
+}
+
+// refillRowTarget is the number of rows a large-path refill refreshes
+// before it stops (once it has at least one candidate): a quarter of
+// the rows, floored at one block. Scanning less makes entering choices
+// too shallow (pivot counts blow up); scanning everything is the
+// classic full sweep the block path exists to avoid.
+func (sv *Solver) refillRowTarget() int {
+	bsz := sv.priceB
+	if bsz <= 0 {
+		bsz = DefaultPricingBlock
+	}
+	t := sv.m / 4
+	if t < bsz {
+		t = bsz
+	}
+	return t
+}

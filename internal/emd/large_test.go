@@ -1,0 +1,250 @@
+package emd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/testutil"
+)
+
+// TestDistanceLargeMatchesClassic is the core conformance property of
+// the block-pricing rework: on any instance, the large path and the
+// classic path find the same optimal cost (the bases may differ on
+// degenerate instances, the objective may not). Random signatures
+// across sizes, dimensions, balanced/unbalanced mass, and grounds.
+func TestDistanceLargeMatchesClassic(t *testing.T) {
+	rng := randx.New(20250729)
+	classic := NewSolver(WithLargeThreshold(-1))
+	large := NewSolver()
+	for trial := 0; trial < 300; trial++ {
+		dim := 1 + rng.Intn(4)
+		maxLen := 1 + rng.Intn(24)
+		totalS, totalT := 1.0, 1.0
+		if trial%3 == 1 {
+			totalS = 0.5 + rng.Float64()*4
+			totalT = 0.5 + rng.Float64()*4
+		}
+		s := randomSig(rng, dim, maxLen, totalS)
+		u := randomSig(rng, dim, maxLen, totalT)
+		g := Euclidean
+		if trial%4 == 2 {
+			g = Manhattan
+		}
+		if dim == 1 && trial%2 == 0 {
+			g = Manhattan // force the simplex on half the 1-D instances
+		}
+		want, err := classic.Distance(s, u, g)
+		if err != nil {
+			t.Fatalf("trial %d: classic: %v", trial, err)
+		}
+		got, err := large.DistanceLarge(s, u, g)
+		if err != nil {
+			t.Fatalf("trial %d: DistanceLarge: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d (dim=%d): DistanceLarge %.15g vs classic %.15g", trial, dim, got, want)
+		}
+	}
+}
+
+// TestDistanceLargeMatchesReference pits the block-pricing solver
+// against the retained seed-reference simplex at sizes past the auto
+// threshold, where the classic comparison above never runs the forced
+// path through Distance's own dispatch.
+func TestDistanceLargeMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instances are slow under -short")
+	}
+	rng := randx.New(77)
+	sv := NewSolver() // default threshold: K >= 128 takes the large path
+	for _, k := range []int{130, 160, 200} {
+		s := randomSig(rng, 2, k, 1)
+		u := randomSig(rng, 2, k, 1)
+		want := referenceEMD(t, s, u, Euclidean)
+		got, err := sv.Distance(s, u, Euclidean)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("K=%d: auto large path %.15g vs reference %.15g", k, got, want)
+		}
+	}
+}
+
+// TestDistanceAutoSelectionBitMatchesForced documents the dispatch
+// contract: once a pair reaches the threshold, Distance runs exactly
+// the same block-pricing code as DistanceLarge — bit-identical values,
+// on warm and cold solvers alike (the pricing cursor is reset per
+// solve, so history cannot leak between calls).
+func TestDistanceAutoSelectionBitMatchesForced(t *testing.T) {
+	rng := randx.New(31)
+	auto := NewSolver(WithLargeThreshold(12))
+	forced := NewSolver()
+	for trial := 0; trial < 50; trial++ {
+		s := randomSig(rng, 2, 12+rng.Intn(20), 1+rng.Float64())
+		u := randomSig(rng, 2, 12+rng.Intn(20), 1+rng.Float64())
+		a, err := auto.Distance(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := forced.DistanceLarge(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != f {
+			t.Fatalf("trial %d: auto %.17g != forced %.17g", trial, a, f)
+		}
+	}
+}
+
+// TestDistanceLargeBelowThresholdUnchanged guards the other half of the
+// dispatch: below the threshold Distance must keep the classic path
+// bit-for-bit (the golden detector trace depends on it).
+func TestDistanceLargeBelowThresholdUnchanged(t *testing.T) {
+	rng := randx.New(32)
+	dflt := NewSolver()
+	off := NewSolver(WithLargeThreshold(-1))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSig(rng, 2, 1+rng.Intn(40), 1)
+		u := randomSig(rng, 2, 1+rng.Intn(40), 1)
+		a, err := dflt.Distance(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := off.Distance(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("trial %d: default-threshold %.17g != large-disabled %.17g below threshold", trial, a, b)
+		}
+	}
+}
+
+// TestDistanceLargePricingBlockInvariantCost checks that the pricing
+// block size is a pure throughput knob for the optimal cost: any block
+// size must reach the same objective (to rounding).
+func TestDistanceLargePricingBlockInvariantCost(t *testing.T) {
+	rng := randx.New(33)
+	s := randomSig(rng, 3, 60, 1.5)
+	u := randomSig(rng, 3, 60, 0.8)
+	base, err := NewSolver().DistanceLarge(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 3, 7, 16, 64, 1024} {
+		got, err := NewSolver(WithPricingBlock(b)).DistanceLarge(s, u, Euclidean)
+		if err != nil {
+			t.Fatalf("block=%d: %v", b, err)
+		}
+		if math.Abs(got-base) > 1e-9*(1+base) {
+			t.Fatalf("block=%d: %.15g vs default-block %.15g", b, got, base)
+		}
+	}
+}
+
+// TestDistanceFlowLargePath checks the flow variant through the large
+// path: the flow matrix must satisfy the transportation constraints and
+// price out to the returned cost.
+func TestDistanceFlowLargePath(t *testing.T) {
+	rng := randx.New(34)
+	sv := NewSolver(WithLargeThreshold(4)) // force large on small instances
+	for trial := 0; trial < 60; trial++ {
+		s := randomSig(rng, 2, 4+rng.Intn(10), 1+rng.Float64()*2)
+		u := randomSig(rng, 2, 4+rng.Intn(10), 1+rng.Float64()*2)
+		res, err := sv.DistanceFlow(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceEMD(t, s, u, Euclidean)
+		if math.Abs(res.EMD-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: large DistanceFlow EMD %.15g vs reference %.15g", trial, res.EMD, want)
+		}
+		wantAmount := math.Min(s.TotalWeight(), u.TotalWeight())
+		if math.Abs(res.Amount-wantAmount) > 1e-9*(1+wantAmount) {
+			t.Fatalf("trial %d: amount %g, want %g", trial, res.Amount, wantAmount)
+		}
+		// Row sums must not exceed the (filtered) supplies.
+		ri := 0
+		for _, w := range s.Weights {
+			if w <= 0 {
+				continue
+			}
+			sum := 0.0
+			for _, f := range res.Flow[ri] {
+				if f < 0 {
+					t.Fatalf("trial %d: negative flow %g", trial, f)
+				}
+				sum += f
+			}
+			if sum > w+1e-6*(1+w) {
+				t.Fatalf("trial %d: row %d ships %g > supply %g", trial, ri, sum, w)
+			}
+			ri++
+		}
+	}
+}
+
+// TestWarmDistanceLargeZeroAllocsK256 is the large-K allocation guard
+// of this PR: a warm solver computes K=256 block-pricing distances
+// without a single heap allocation, just like the classic path at
+// small K (mirrors the PR 1 guarantee at the new scale).
+func TestWarmDistanceLargeZeroAllocsK256(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("K=256 solves are slow under -short")
+	}
+	rng := randx.New(256)
+	s := randomSig(rng, 2, 256, 1)
+	u := randomSig(rng, 2, 256, 1)
+	sv := NewSolver()
+	if _, err := sv.DistanceLarge(s, u, Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(3, func() {
+		if _, err := sv.DistanceLarge(s, u, Euclidean); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm DistanceLarge at K=256: %g allocs/op, want 0", allocs)
+	}
+}
+
+// TestPrewarmedSolverFirstDistanceLargeZeroAllocs extends the PR 3
+// Prewarm guarantee to the block-pricing path: a fresh solver that was
+// Prewarmed for the signature size must not allocate even on its FIRST
+// large-path distance (per-worker solvers in the tiled pairwise engine
+// rely on this at large K).
+func TestPrewarmedSolverFirstDistanceLargeZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("K=256 solves are slow under -short")
+	}
+	const k = 256
+	rng := randx.New(512)
+	s := randomSig(rng, 2, k, 1)
+	u := randomSig(rng, 2, k, 1)
+
+	const runs = 3
+	fresh := make([]*Solver, 0, runs+1)
+	for i := 0; i < cap(fresh); i++ {
+		sv := NewSolver()
+		sv.Prewarm(k)
+		fresh = append(fresh, sv)
+	}
+	next := 0
+	if allocs := testing.AllocsPerRun(runs, func() {
+		sv := fresh[next]
+		next++
+		if _, err := sv.Distance(s, u, Euclidean); err != nil { // K=256 auto-selects the large path
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("first auto-large Distance after Prewarm(%d): %g allocs/op, want 0", k, allocs)
+	}
+}

@@ -12,118 +12,27 @@ import (
 // the perturbation is O(1e-10) of the total mass and its effect on the
 // objective is far below the tolerances used by callers.
 //
-// The entering cell is chosen with candidate-list (block) pricing: instead
-// of scanning all m·n reduced costs on every pivot, a short list of
-// negative-reduced-cost cells is harvested from a rolling block scan and
-// pivots consume it until it runs dry, falling back to a full wrap-around
-// scan before declaring optimality.
+// The entering cell is chosen with per-row candidate pricing: instead of
+// scanning all m·n reduced costs on every pivot, the cached per-row
+// candidates are re-priced and consumed until they run dry, at which
+// point one full O(m·n) scan rebuilds them (priceEnter). solveLarge in
+// large.go is the large-signature variant: it replaces that full-scan
+// refill with cyclic block pricing over a lazily computed cost matrix.
+// This classic path is kept bit-for-bit stable — detector scores below
+// the large threshold must not drift (see the golden trace test).
 //
 // Σ supply must equal Σ demand (prepare balances with a dummy node).
 // On success the optimal basis is left in basisI/basisJ/basisF and the
 // objective Σ f·c over non-residue flows is returned.
 func (sv *Solver) solve() (totalCost float64, err error) {
 	m, n := sv.m, sv.n
-	if m == 0 || n == 0 {
-		return 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m, n)
+	eps, nb, err := sv.stageSimplex()
+	if err != nil {
+		return 0, err
 	}
-	totS, totD := 0.0, 0.0
-	for _, v := range sv.supply {
-		totS += v
-	}
-	for _, v := range sv.demand {
-		totD += v
-	}
-	if math.Abs(totS-totD) > 1e-9*math.Max(totS, totD)+1e-300 {
-		return 0, fmt.Errorf("emd: unbalanced problem: supply %g vs demand %g", totS, totD)
-	}
-
-	// Charnes perturbation: supply_i += eps, demand_last += m*eps. The
-	// supply/demand buffers are staged per call, so perturb in place.
-	eps := totS * 1e-11
-	if eps == 0 {
-		eps = 1e-11
-	}
-	for i := range sv.supply {
-		sv.supply[i] += eps
-	}
-	sv.demand[n-1] += float64(m) * eps
-
-	// --- Northwest corner initial basis: exactly m+n-1 basic cells. ---
-	nb := m + n - 1
-	sv.basisI = growInts(sv.basisI, nb)
-	sv.basisJ = growInts(sv.basisJ, nb)
-	sv.basisF = growFloats(sv.basisF, nb)
-	// Consume the (perturbed) supply/demand residuals destructively; they
-	// are not needed after the initial basis is placed.
-	ra, rb := sv.supply, sv.demand
-	k := 0
-	for i, j := 0, 0; ; {
-		f := math.Min(ra[i], rb[j])
-		if f < 0 {
-			f = 0 // guard against rounding residue
-		}
-		if k >= nb {
-			return 0, fmt.Errorf("emd: internal: NW corner produced more than %d basic cells", nb)
-		}
-		sv.basisI[k], sv.basisJ[k], sv.basisF[k] = i, j, f
-		k++
-		ra[i] -= f
-		rb[j] -= f
-		if i == m-1 && j == n-1 {
-			break
-		}
-		// Advance exactly one index per cell so the walk from (0,0) to
-		// (m-1,n-1) yields exactly m+n-1 basic cells regardless of
-		// floating-point wobble in the residuals.
-		switch {
-		case j == n-1:
-			i++
-		case i == m-1:
-			j++
-		case ra[i] <= rb[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	if k != nb {
-		return 0, fmt.Errorf("emd: internal: NW corner produced %d basic cells, want %d", k, nb)
-	}
-
-	// Grow the per-node and per-basis scratch.
-	sv.u = growFloats(sv.u, m)
-	sv.v = growFloats(sv.v, n)
-	sv.uSet = growBools(sv.uSet, m)
-	sv.vSet = growBools(sv.vSet, n)
-	sv.rowHead = growInts(sv.rowHead, m)
-	sv.colHead = growInts(sv.colHead, n)
-	sv.rowNext = growInts(sv.rowNext, nb)
-	sv.colNext = growInts(sv.colNext, nb)
 	sv.parent = growInts(sv.parent, m+n)
 	sv.visited = growBools(sv.visited, m+n)
-	if cap(sv.queue) < m+n {
-		sv.queue = make([]int, 0, m+n)
-	}
-	sv.cand = growInts(sv.cand, m)
-	for i := range sv.cand {
-		sv.cand[i] = -1
-	}
 
-	// Build the basis-tree adjacency (intrusive linked lists) once; pivots
-	// patch it incrementally.
-	for i := 0; i < m; i++ {
-		sv.rowHead[i] = -1
-	}
-	for j := 0; j < n; j++ {
-		sv.colHead[j] = -1
-	}
-	for bi := 0; bi < nb; bi++ {
-		i, j := sv.basisI[bi], sv.basisJ[bi]
-		sv.rowNext[bi] = sv.rowHead[i]
-		sv.rowHead[i] = bi
-		sv.colNext[bi] = sv.colHead[j]
-		sv.colHead[j] = bi
-	}
 	// MODI potentials: solve u_i + v_j = c_ij over the tree. Computed in
 	// full once; each pivot then shifts only the subtree cut off by the
 	// leaving arc, with a periodic full refresh to keep rounding drift in
@@ -151,6 +60,7 @@ func (sv *Solver) solve() (totalCost float64, err error) {
 		}
 
 		// --- Pivot: find the cycle through (enterI, enterJ), shift θ. ---
+		sv.statPivots++
 		if err := sv.pivot(enterI, enterJ, r); err != nil {
 			return 0, err
 		}
@@ -167,6 +77,118 @@ func (sv *Solver) solve() (totalCost float64, err error) {
 		totalCost += f * sv.cost[sv.basisI[bi]*n+sv.basisJ[bi]]
 	}
 	return totalCost, nil
+}
+
+// stageSimplex runs the head both simplex paths share, on the problem
+// staged in supply/demand/m/n: the balance check, the Charnes epsilon
+// perturbation (in place — the buffers are re-staged per call), the
+// northwest-corner initial basis, growth of the shared scratch, and the
+// basis-tree adjacency build. It returns the perturbation eps (the
+// caller derives its flow clamp from it) and the basis size m+n−1.
+// Everything here is identical float arithmetic on both paths, so
+// sharing it cannot perturb the classic path's bits.
+func (sv *Solver) stageSimplex() (eps float64, nb int, err error) {
+	m, n := sv.m, sv.n
+	sv.statPivots, sv.statRefillRows = 0, 0
+	if m == 0 || n == 0 {
+		return 0, 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m, n)
+	}
+	totS, totD := 0.0, 0.0
+	for _, v := range sv.supply {
+		totS += v
+	}
+	for _, v := range sv.demand {
+		totD += v
+	}
+	if math.Abs(totS-totD) > 1e-9*math.Max(totS, totD)+1e-300 {
+		return 0, 0, fmt.Errorf("emd: unbalanced problem: supply %g vs demand %g", totS, totD)
+	}
+
+	// Charnes perturbation: supply_i += eps, demand_last += m*eps.
+	eps = totS * 1e-11
+	if eps == 0 {
+		eps = 1e-11
+	}
+	for i := range sv.supply {
+		sv.supply[i] += eps
+	}
+	sv.demand[n-1] += float64(m) * eps
+
+	// --- Northwest corner initial basis: exactly m+n-1 basic cells. ---
+	nb = m + n - 1
+	sv.basisI = growInts(sv.basisI, nb)
+	sv.basisJ = growInts(sv.basisJ, nb)
+	sv.basisF = growFloats(sv.basisF, nb)
+	// Consume the (perturbed) supply/demand residuals destructively; they
+	// are not needed after the initial basis is placed.
+	ra, rb := sv.supply, sv.demand
+	k := 0
+	for i, j := 0, 0; ; {
+		f := math.Min(ra[i], rb[j])
+		if f < 0 {
+			f = 0 // guard against rounding residue
+		}
+		if k >= nb {
+			return 0, 0, fmt.Errorf("emd: internal: NW corner produced more than %d basic cells", nb)
+		}
+		sv.basisI[k], sv.basisJ[k], sv.basisF[k] = i, j, f
+		k++
+		ra[i] -= f
+		rb[j] -= f
+		if i == m-1 && j == n-1 {
+			break
+		}
+		// Advance exactly one index per cell so the walk from (0,0) to
+		// (m-1,n-1) yields exactly m+n-1 basic cells regardless of
+		// floating-point wobble in the residuals.
+		switch {
+		case j == n-1:
+			i++
+		case i == m-1:
+			j++
+		case ra[i] <= rb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if k != nb {
+		return 0, 0, fmt.Errorf("emd: internal: NW corner produced %d basic cells, want %d", k, nb)
+	}
+
+	// Grow the scratch both paths use.
+	sv.u = growFloats(sv.u, m)
+	sv.v = growFloats(sv.v, n)
+	sv.uSet = growBools(sv.uSet, m)
+	sv.vSet = growBools(sv.vSet, n)
+	sv.rowHead = growInts(sv.rowHead, m)
+	sv.colHead = growInts(sv.colHead, n)
+	sv.rowNext = growInts(sv.rowNext, nb)
+	sv.colNext = growInts(sv.colNext, nb)
+	if cap(sv.queue) < m+n {
+		sv.queue = make([]int, 0, m+n)
+	}
+	sv.cand = growInts(sv.cand, m)
+	for i := range sv.cand {
+		sv.cand[i] = -1
+	}
+
+	// Build the basis-tree adjacency (intrusive linked lists) once;
+	// pivots patch it incrementally.
+	for i := 0; i < m; i++ {
+		sv.rowHead[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		sv.colHead[j] = -1
+	}
+	for bi := 0; bi < nb; bi++ {
+		i, j := sv.basisI[bi], sv.basisJ[bi]
+		sv.rowNext[bi] = sv.rowHead[i]
+		sv.rowHead[i] = bi
+		sv.colNext[bi] = sv.colHead[j]
+		sv.colHead[j] = bi
+	}
+	return eps, nb, nil
 }
 
 // potentials solves u_i + v_j = c_ij over the basis tree with a BFS from
@@ -251,6 +273,7 @@ func (sv *Solver) priceEnter(tol float64) (enterI, enterJ int, r float64, ok boo
 	}
 
 	// Refill: rebuild every row's best candidate in one full scan.
+	sv.statRefillRows += m
 	for i := 0; i < m; i++ {
 		ui := sv.u[i]
 		row := sv.cost[i*n : (i+1)*n]

@@ -9,11 +9,65 @@ import (
 	"repro/internal/signature"
 )
 
+// DefaultLargeThreshold is the signature size (max of the two lengths)
+// at which Distance auto-selects the block-pricing large path: below it
+// the classic full-refill pricing is used bit-for-bit unchanged, at or
+// above it the solver switches to cyclic block pricing over a lazily
+// computed cost matrix. Override per Solver with WithLargeThreshold.
+const DefaultLargeThreshold = 128
+
+// DefaultPricingBlock is the number of consecutive cost-matrix rows one
+// pricing block covers on the large path. A refill scans blocks
+// cyclically from where the previous refill stopped and stops at the
+// first block that yields a candidate, so the steady-state refill cost
+// is O(block·n) instead of the classic O(m·n) full sweep. Override per
+// Solver with WithPricingBlock.
+const DefaultPricingBlock = 16
+
+// A SolverOption configures a Solver at construction.
+type SolverOption func(*Solver)
+
+// WithLargeThreshold sets the signature size at which Distance switches
+// to the block-pricing large path: 0 keeps DefaultLargeThreshold, a
+// negative value disables automatic selection (DistanceLarge still
+// forces the path explicitly), and any positive value is the threshold.
+//
+// Both paths solve the same transportation problem exactly, so the
+// optimal cost agrees to rounding (the conformance suite asserts 1e-9),
+// but degenerate instances admit multiple optimal bases and the two
+// pricing orders may settle on different ones — the returned distances
+// can differ in the last bits. Pipelines that promise bit-identical
+// output across runs must therefore use the same threshold on every
+// run (the engine snapshot fingerprint records it).
+func WithLargeThreshold(k int) SolverOption {
+	return func(sv *Solver) { sv.largeK = k }
+}
+
+// WithPricingBlock sets the number of rows per pricing block on the
+// large path (0 keeps DefaultPricingBlock). Like the threshold, the
+// block size selects which optimal basis degenerate instances settle
+// on, so it must be held fixed where bit-identity is promised.
+func WithPricingBlock(rows int) SolverOption {
+	return func(sv *Solver) {
+		if rows > 0 {
+			sv.priceB = rows
+		}
+	}
+}
+
 // Solver is a reusable transportation-simplex workspace. All scratch
 // state — the flat row-major cost matrix, the basis tree, the MODI
 // potentials, and the BFS buffers — is owned by the Solver and recycled
 // across calls, so a warm Solver computes EMDs with zero steady-state
 // allocations (Distance) or a single output allocation (DistanceFlow).
+//
+// Two simplex paths share the workspace. The classic path (small
+// signatures) materializes the full cost matrix up front and refills
+// its per-row pricing candidates with a full O(m·n) sweep. The large
+// path (block pricing, selected automatically at DefaultLargeThreshold
+// or forced via DistanceLarge) computes cost rows lazily as pricing
+// first touches them and refills candidates one block of rows at a
+// time, resuming where the previous refill stopped.
 //
 // A Solver is not safe for concurrent use; give each goroutine its own
 // (the package-level Distance/DistanceFlow functions rent Solvers from a
@@ -56,11 +110,78 @@ type Solver struct {
 
 	// Scratch for the 1-D closed-form fast path.
 	events []ev1d
+
+	// --- Large-signature (block-pricing) path ---------------------------
+
+	// Configuration: auto-select threshold (0 = DefaultLargeThreshold,
+	// < 0 = never) and rows per pricing block (0 = DefaultPricingBlock).
+	largeK int
+	priceB int
+
+	// Lazy cost-matrix state: the ground function and the filtered
+	// center views it is evaluated over, per-row computed flags, the
+	// real (non-dummy) column count, and whether a dummy column exists.
+	// cost rows are filled on first touch by a pricing block; basis-cell
+	// costs are carried separately in basisC so building the initial
+	// basis never forces whole rows.
+	lazyG        Ground
+	lazySrcC     [][]float64
+	lazyDstC     [][]float64
+	rowReady     []bool
+	lazyN0       int
+	lazyDummyCol bool
+
+	// basisC[k] is the ground cost of basis cell k (large path only);
+	// potentials and the objective read it instead of the cost matrix.
+	basisC []float64
+
+	// blockCur is the pricing-block cursor: the next refill resumes
+	// scanning at this block, wrapping around, and only a refill that
+	// sweeps every block without finding a candidate proves optimality.
+	blockCur int
+
+	// Rooted basis-tree structure (large path only): parent node and
+	// connecting basis arc per tree node (rows are nodes [0,m), columns
+	// [m,m+n)), plus BFS depth. Maintained incrementally per pivot so a
+	// pivot costs O(cycle + detached subtree) instead of two O(m+n)
+	// whole-tree sweeps.
+	parentNode []int
+	parentArc  []int
+	depth      []int
+	// Cycle scratch: the entering cell's two tree-path halves.
+	cycA, cycB []int
+
+	// Per-solve pivot/refill-row counters, reset by both solve paths.
+	// They cost two increments per pivot and feed Stats (the solverscale
+	// experiment reports them; tests use them to assert the large path
+	// actually scans fewer cells).
+	statPivots     int
+	statRefillRows int
+}
+
+// SolverStats reports how the last solve spent its time: simplex pivots
+// performed and candidate-refill rows scanned (each refill row prices n
+// cells, so refillRows·n is the total pricing work). The 1-D closed
+// form reports zeros.
+type SolverStats struct {
+	Pivots     int
+	RefillRows int
+}
+
+// Stats returns the counters of the last Distance/DistanceFlow call.
+func (sv *Solver) Stats() SolverStats {
+	return SolverStats{Pivots: sv.statPivots, RefillRows: sv.statRefillRows}
 }
 
 // NewSolver returns an empty Solver; buffers grow on first use and are
 // retained for subsequent calls.
-func NewSolver() *Solver { return &Solver{} }
+func NewSolver(opts ...SolverOption) *Solver {
+	sv := &Solver{}
+	for _, o := range opts {
+		o(sv)
+	}
+	return sv
+}
 
 // Prewarm grows every scratch buffer the solver needs for transportation
 // problems with up to k sources and k sinks (plus the balancing dummy
@@ -105,6 +226,23 @@ func (sv *Solver) Prewarm(k int) {
 	if cap(sv.events) < 2*k {
 		sv.events = make([]ev1d, 2*k)
 	}
+	// Large-path scratch: per-row lazy-fill flags, basis-cell costs, the
+	// filtered center views, and the rooted basis-tree arrays, so even
+	// the first DistanceLarge call on a prewarmed solver is
+	// allocation-free.
+	sv.rowReady = growBools(sv.rowReady, m)
+	sv.basisC = growFloats(sv.basisC, nb)
+	sv.lazySrcC = growCenters(sv.lazySrcC, k)
+	sv.lazyDstC = growCenters(sv.lazyDstC, k)
+	sv.parentNode = growInts(sv.parentNode, m+n)
+	sv.parentArc = growInts(sv.parentArc, m+n)
+	sv.depth = growInts(sv.depth, m+n)
+	if cap(sv.cycA) < nb {
+		sv.cycA = make([]int, 0, nb)
+	}
+	if cap(sv.cycB) < nb {
+		sv.cycB = make([]int, 0, nb)
+	}
 }
 
 var solverPool = sync.Pool{New: func() any { return NewSolver() }}
@@ -144,8 +282,23 @@ func (sv *Solver) DistanceValidated(s, t signature.Signature, g Ground) (float64
 	return sv.distance(s, t, g)
 }
 
-// distance dispatches a validated pair onto the closed form or the
-// simplex.
+// largeEligible reports whether Distance auto-selects the block-pricing
+// path for this pair: either signature at or above the threshold. The
+// raw lengths (not the zero-weight-filtered sizes) decide, so the
+// choice is a cheap, predictable function of the inputs.
+func (sv *Solver) largeEligible(s, t signature.Signature) bool {
+	th := sv.largeK
+	if th == 0 {
+		th = DefaultLargeThreshold
+	}
+	if th < 0 {
+		return false
+	}
+	return s.Len() >= th || t.Len() >= th
+}
+
+// distance dispatches a validated pair onto the closed form or one of
+// the two simplex paths.
 func (sv *Solver) distance(s, t signature.Signature, g Ground) (float64, error) {
 	if s.Dim() == 1 && euclideanGround(g) {
 		ws, wt := s.TotalWeight(), t.TotalWeight()
@@ -156,11 +309,52 @@ func (sv *Solver) distance(s, t signature.Signature, g Ground) (float64, error) 
 	if g == nil {
 		g = Euclidean
 	}
+	if sv.largeEligible(s, t) {
+		return sv.simplexLarge(s, t, g)
+	}
 	amount, err := sv.prepare(s, t, g)
 	if err != nil {
 		return 0, err
 	}
 	totalCost, err := sv.solve()
+	if err != nil {
+		return 0, err
+	}
+	if amount <= 0 {
+		return 0, nil
+	}
+	return totalCost / amount, nil
+}
+
+// DistanceLarge is Distance with the block-pricing large-signature path
+// forced regardless of the solver's threshold. The exact 1-D
+// closed-form fast path still applies (it is cheaper and exact at any
+// size); only the simplex route changes. Use it when signatures hover
+// below the auto-select threshold but the workload is known to be
+// refill-bound, or to pin the pricing strategy in differential tests.
+func (sv *Solver) DistanceLarge(s, t signature.Signature, g Ground) (float64, error) {
+	if err := validatePair(s, t); err != nil {
+		return 0, err
+	}
+	if s.Dim() == 1 && euclideanGround(g) {
+		ws, wt := s.TotalWeight(), t.TotalWeight()
+		if balancedTotals(ws, wt) {
+			return sv.distance1DTotals(s, t, ws, wt), nil
+		}
+	}
+	if g == nil {
+		g = Euclidean
+	}
+	return sv.simplexLarge(s, t, g)
+}
+
+// simplexLarge runs the block-pricing simplex on a validated pair.
+func (sv *Solver) simplexLarge(s, t signature.Signature, g Ground) (float64, error) {
+	amount, err := sv.prepareLarge(s, t, g)
+	if err != nil {
+		return 0, err
+	}
+	totalCost, err := sv.solveLarge()
 	if err != nil {
 		return 0, err
 	}
@@ -182,11 +376,21 @@ func (sv *Solver) DistanceFlow(s, t signature.Signature, g Ground) (*Result, err
 	if g == nil {
 		g = Euclidean
 	}
-	amount, err := sv.prepare(s, t, g)
-	if err != nil {
-		return nil, err
+	var amount, totalCost float64
+	var err error
+	if sv.largeEligible(s, t) {
+		// The flow extraction below only reads the basis, which both
+		// simplex paths leave in the same buffers.
+		amount, err = sv.prepareLarge(s, t, g)
+		if err == nil {
+			totalCost, err = sv.solveLarge()
+		}
+	} else {
+		amount, err = sv.prepare(s, t, g)
+		if err == nil {
+			totalCost, err = sv.solve()
+		}
 	}
-	totalCost, err := sv.solve()
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +442,7 @@ func (sv *Solver) distance1D(s, t signature.Signature) float64 {
 // the same weights would produce the identical floats anyway — this just
 // skips two O(K) sweeps per pair on the hot path.
 func (sv *Solver) distance1DTotals(s, t signature.Signature, totS, totT float64) float64 {
+	sv.statPivots, sv.statRefillRows = 0, 0
 	ln := s.Len() + t.Len()
 	if cap(sv.events) < ln {
 		sv.events = make([]ev1d, ln)
@@ -261,11 +466,13 @@ func (sv *Solver) distance1DTotals(s, t signature.Signature, totS, totT float64)
 	return emdVal
 }
 
-// prepare filters zero-weight entries, builds the flat cost matrix and the
-// supply/demand vectors (balancing with a zero-cost dummy node on the
-// deficient side, Eq. 9-11), and returns the total moved amount
-// min(ΣW, ΣW′).
-func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
+// stageProblem filters zero-weight entries, decides the balancing dummy
+// (a zero-cost node on the deficient side, Eq. 9-11), sets the problem
+// dimensions, and stages the supply/demand vectors. It is the shared
+// front half of the eager (prepare) and lazy (prepareLarge) paths and
+// returns the total moved amount min(ΣW, ΣW′) plus the filtered sizes
+// and dummy placement the cost-matrix half needs.
+func (sv *Solver) stageProblem(s, t signature.Signature) (amount float64, m0, n0 int, dummyRow, dummyCol bool, err error) {
 	sv.srcIdx = sv.srcIdx[:0]
 	totS := 0.0
 	for i, w := range s.Weights {
@@ -282,19 +489,19 @@ func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
 			totT += w
 		}
 	}
-	m0, n0 := len(sv.srcIdx), len(sv.dstIdx)
+	m0, n0 = len(sv.srcIdx), len(sv.dstIdx)
 	if m0 == 0 || n0 == 0 {
-		return 0, fmt.Errorf("emd: empty transportation problem (%dx%d)", m0, n0)
+		return 0, 0, 0, false, false, fmt.Errorf("emd: empty transportation problem (%dx%d)", m0, n0)
 	}
-	amount := math.Min(totS, totT)
+	amount = math.Min(totS, totT)
 
 	// Decide the dummy before building the matrix so it can be laid out
 	// flat in one pass.
 	m, n := m0, n0
 	diff := totS - totT
 	const relTol = 1e-12
-	dummyCol := diff > relTol*math.Max(totS, totT)
-	dummyRow := -diff > relTol*math.Max(totS, totT)
+	dummyCol = diff > relTol*math.Max(totS, totT)
+	dummyRow = -diff > relTol*math.Max(totS, totT)
 	if dummyCol {
 		n++
 	} else if dummyRow {
@@ -302,7 +509,38 @@ func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
 	}
 	sv.m, sv.n = m, n
 
-	sv.cost = growFloats(sv.cost, m*n)
+	sv.supply = growFloats(sv.supply, m)
+	sv.demand = growFloats(sv.demand, n)
+	for i := 0; i < m0; i++ {
+		sv.supply[i] = s.Weights[sv.srcIdx[i]]
+	}
+	for j := 0; j < n0; j++ {
+		sv.demand[j] = t.Weights[sv.dstIdx[j]]
+	}
+	switch {
+	case dummyCol:
+		sv.demand[n0] = diff
+	case dummyRow:
+		sv.supply[m0] = -diff
+	case diff > 0:
+		// Negligible imbalance from rounding: absorb into the last entry.
+		sv.demand[n0-1] += diff
+	case diff < 0:
+		sv.supply[m0-1] -= diff
+	}
+	return amount, m0, n0, dummyRow, dummyCol, nil
+}
+
+// prepare stages the problem and eagerly builds the full flat cost
+// matrix — the classic path for small signatures, where the matrix is
+// cheap and every cell is scanned by pricing anyway.
+func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
+	amount, m0, n0, dummyRow, dummyCol, err := sv.stageProblem(s, t)
+	if err != nil {
+		return 0, err
+	}
+	n := sv.n
+	sv.cost = growFloats(sv.cost, sv.m*n)
 	maxCost := 0.0
 	for i := 0; i < m0; i++ {
 		ci := s.Centers[sv.srcIdx[i]]
@@ -328,27 +566,113 @@ func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
 		}
 	}
 	sv.maxCost = maxCost
-
-	sv.supply = growFloats(sv.supply, m)
-	sv.demand = growFloats(sv.demand, n)
-	for i := 0; i < m0; i++ {
-		sv.supply[i] = s.Weights[sv.srcIdx[i]]
-	}
-	for j := 0; j < n0; j++ {
-		sv.demand[j] = t.Weights[sv.dstIdx[j]]
-	}
-	switch {
-	case dummyCol:
-		sv.demand[n0] = diff
-	case dummyRow:
-		sv.supply[m0] = -diff
-	case diff > 0:
-		// Negligible imbalance from rounding: absorb into the last entry.
-		sv.demand[n0-1] += diff
-	case diff < 0:
-		sv.supply[m0-1] -= diff
-	}
 	return amount, nil
+}
+
+// prepareLarge stages the problem for the block-pricing path: the cost
+// matrix backing store is sized but NOT filled — rows are computed on
+// first touch by a pricing block (fillRow), and basis-cell costs are
+// carried separately (basisC), so a K=512 pair whose pivots touch only
+// a fraction of the matrix never pays the full 512×512 ground-distance
+// sweep up front.
+func (sv *Solver) prepareLarge(s, t signature.Signature, g Ground) (float64, error) {
+	amount, m0, n0, dummyRow, dummyCol, err := sv.stageProblem(s, t)
+	if err != nil {
+		return 0, err
+	}
+	m, n := sv.m, sv.n
+	sv.cost = growFloats(sv.cost, m*n)
+	sv.rowReady = growBools(sv.rowReady, m)
+	for i := 0; i < m; i++ {
+		sv.rowReady[i] = false
+	}
+	sv.lazySrcC = growCenters(sv.lazySrcC, m0)
+	for i := 0; i < m0; i++ {
+		sv.lazySrcC[i] = s.Centers[sv.srcIdx[i]]
+	}
+	sv.lazyDstC = growCenters(sv.lazyDstC, n0)
+	for j := 0; j < n0; j++ {
+		sv.lazyDstC[j] = t.Centers[sv.dstIdx[j]]
+	}
+	sv.lazyG = g
+	sv.lazyN0 = n0
+	sv.lazyDummyCol = dummyCol
+	if dummyRow {
+		row := sv.cost[m0*n : (m0+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+		sv.rowReady[m0] = true
+	}
+	// maxCost grows as rows are computed; the pricing tolerance tracks
+	// it. Cells priced early under a (smaller) provisional tolerance can
+	// only be kept as candidates more eagerly, never wrongly discarded,
+	// and the optimality certificate is issued by a full block sweep
+	// after every row has been computed.
+	sv.maxCost = 0
+	sv.blockCur = 0
+	return amount, nil
+}
+
+// releaseLazy drops the center views captured by prepareLarge so a
+// pooled solver does not pin the last pair's signature data.
+func (sv *Solver) releaseLazy() {
+	for i := range sv.lazySrcC {
+		sv.lazySrcC[i] = nil
+	}
+	for j := range sv.lazyDstC {
+		sv.lazyDstC[j] = nil
+	}
+	sv.lazyG = nil
+}
+
+// fillRow computes cost row i of the lazy matrix (all real columns plus
+// the zero dummy column) and marks it ready.
+func (sv *Solver) fillRow(i int) error {
+	n := sv.n
+	ci := sv.lazySrcC[i]
+	row := sv.cost[i*n : (i+1)*n]
+	g := sv.lazyG
+	maxCost := sv.maxCost
+	for j := 0; j < sv.lazyN0; j++ {
+		d := g(ci, sv.lazyDstC[j])
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("emd: ground distance returned %g", d)
+		}
+		row[j] = d
+		if d > maxCost {
+			maxCost = d
+		}
+	}
+	if sv.lazyDummyCol {
+		row[sv.lazyN0] = 0
+	}
+	sv.maxCost = maxCost
+	sv.rowReady[i] = true
+	return nil
+}
+
+// lazyCost returns the ground cost of a single cell without forcing its
+// whole row: ready rows are read from the matrix, dummy cells are zero,
+// and anything else is one ground-distance evaluation. Building the
+// initial basis needs exactly one cell per basis entry, so going
+// through lazyCost keeps the up-front cost at O(m+n) evaluations
+// instead of O(m·n).
+func (sv *Solver) lazyCost(i, j int) (float64, error) {
+	if sv.rowReady[i] {
+		return sv.cost[i*sv.n+j], nil
+	}
+	if sv.lazyDummyCol && j == sv.lazyN0 {
+		return 0, nil
+	}
+	d := sv.lazyG(sv.lazySrcC[i], sv.lazyDstC[j])
+	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0, fmt.Errorf("emd: ground distance returned %g", d)
+	}
+	if d > sv.maxCost {
+		sv.maxCost = d
+	}
+	return d, nil
 }
 
 func growFloats(s []float64, n int) []float64 {
@@ -370,6 +694,13 @@ func growBools(s []bool, n int) []bool {
 		return s[:n]
 	}
 	return make([]bool, n)
+}
+
+func growCenters(s [][]float64, n int) [][]float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([][]float64, n)
 }
 
 // flowClamp is the threshold under which a basic flow is considered pure

@@ -310,3 +310,28 @@ func TestPairwiseShardMergeFlow(t *testing.T) {
 		t.Error("merge with a missing shard must error")
 	}
 }
+
+// TestSolverScale drives the `repro -exp solverscale` study at a small
+// scale: the report must render, every row must carry counters, and the
+// classic-vs-block-pricing cost agreement is enforced inside the driver
+// (it errors past 1e-9).
+func TestSolverScale(t *testing.T) {
+	res, err := SolverScale(3, SolverScaleOptions{Ks: []int{8, 24}, Pairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.ClassicPivots <= 0 || r.LargePivots <= 0 {
+			t.Errorf("K=%d: missing pivot counters: %+v", r.K, r)
+		}
+		if r.MaxRelDiff > 1e-9 {
+			t.Errorf("K=%d: rel diff %g escaped the driver's own gate", r.K, r.MaxRelDiff)
+		}
+	}
+	if !strings.Contains(res.Report, "block-pricing") {
+		t.Error("report missing")
+	}
+}

@@ -309,6 +309,21 @@ func WithRawMass(raw bool) Option {
 	return Option{func(c *core.EngineConfig) { c.Template.RawMass = raw }}
 }
 
+// WithEMDLargeThreshold sets the signature size at which every stream
+// detector's EMD solver switches to the block-pricing large-signature
+// path (lazy blocked cost matrix, shrinking candidate refills, rooted
+// basis tree): 0 — the default — selects emd.DefaultLargeThreshold
+// (128), a negative value pins the classic full-refill solver at every
+// size, and a positive value is the threshold. Both paths return the
+// same optimal EMD to rounding; on degenerate ties they may pick
+// different equally optimal bases whose costs differ in the last bits,
+// so the threshold is part of the engine snapshot fingerprint — engines
+// that disagree on it refuse each other's snapshots rather than
+// silently diverging.
+func WithEMDLargeThreshold(k int) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.EMDLargeK = k }}
+}
+
 // WithSeed sets the engine base seed. Each stream gets the derived seed
 // randx.SplitSeedString(seed, streamID), so per-stream output is a
 // deterministic function of (seed, stream id, pushed bags) only —
@@ -452,6 +467,13 @@ func WithPairGround(g Ground) PairwiseOpt { return core.WithPairGround(g) }
 // WithPairRawMass keeps raw signature masses (partial-matching EMD)
 // instead of normalizing to unit total.
 func WithPairRawMass(raw bool) PairwiseOpt { return core.WithPairRawMass(raw) }
+
+// WithPairEMDLargeThreshold sets the signature size at which the tiled
+// engine's worker solvers switch to the block-pricing large-signature
+// EMD path (0 selects the emd default of 128, negative disables). All
+// shards of one sharded run must agree on it; see
+// core.WithPairEMDLargeThreshold.
+func WithPairEMDLargeThreshold(k int) PairwiseOpt { return core.WithPairEMDLargeThreshold(k) }
 
 // PairwiseEMDTiled computes the full pairwise EMD matrix with the tiled
 // engine. The result is a pure function of the signature configuration
