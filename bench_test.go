@@ -308,6 +308,53 @@ func BenchmarkDetectorPush(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorPushHistogram is the ground-cost cache's acceptance
+// benchmark: a histogram builder emits bit-identical supports (bin
+// midpoints) for every bag, so one cache entry serves all τ+τ′−1 EMDs
+// of every Push, and the Manhattan ground forces the 1-D signatures
+// through the simplex (Euclidean would take the closed form and never
+// price a cost matrix). BENCH_PR6.json records cache vs nocache; the
+// contract is cache ≥ 2× on this workload.
+func BenchmarkDetectorPushHistogram(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		slots int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := randx.New(6)
+			det, err := NewDetector(Config{
+				Tau: 8, TauPrime: 8,
+				Builder:           NewHistogramBuilder(0, 1, 64),
+				Ground:            emd.Manhattan,
+				Bootstrap:         BootstrapConfig{Replicates: 100, Workers: 1},
+				EMDCostCacheSlots: tc.slots,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bags := make([]Bag, 64)
+			for t := range bags {
+				vals := make([]float64, 800) // 800 uniform draws keep all 64 bins occupied
+				for i := range vals {
+					vals[i] = rng.Float64()
+				}
+				bags[t] = BagFromScalars(t, vals)
+			}
+			for t := 0; t < 20; t++ { // warm the window
+				if _, err := det.Push(bags[t%len(bags)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Push(bags[i%len(bags)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md §5) --------------------------------------
 
 // ablationSequence is a shared mean-shift workload for the ablations.
@@ -652,6 +699,43 @@ func BenchmarkPairwiseFlat256(b *testing.B)  { benchmarkPairwiseFlat(b, 256) }
 func BenchmarkPairwiseTiled256(b *testing.B) { benchmarkPairwiseTiled(b, 256) }
 func BenchmarkPairwiseFlat512(b *testing.B)  { benchmarkPairwiseFlat(b, 512) }
 func BenchmarkPairwiseTiled512(b *testing.B) { benchmarkPairwiseTiled(b, 512) }
+
+// BenchmarkPairwiseCached256 measures the tile-local ground-cost caches
+// on a 256-bag corpus whose histogram signatures all share one support
+// set: every tile re-solves the same cost matrix, so the cache collapses
+// the tile's ground work to a single priced entry per worker. Manhattan
+// keeps the 1-D pairs on the simplex; BENCH_PR6.json records the
+// cache/nocache pair.
+func BenchmarkPairwiseCached256(b *testing.B) {
+	const n = 256
+	rng := randx.New(65)
+	seq := make(bag.Sequence, n)
+	for t := range seq {
+		vals := make([]float64, 800) // uniform over [0,1): all 64 bins stay occupied
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		seq[t] = bag.FromScalars(t, vals)
+	}
+	factory := signature.HistogramFactory(0, 1, 64)
+	for _, tc := range []struct {
+		name  string
+		slots int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Pairwise(seq,
+					core.WithPairBuilderFactory(factory, 0),
+					core.WithPairGround(emd.Manhattan),
+					core.WithPairEMDCostCache(tc.slots),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkMDSEmbed times the classical MDS embedding of a 20×20 matrix.
 func BenchmarkMDSEmbed(b *testing.B) {

@@ -107,6 +107,17 @@ type Config struct {
 	// threshold is part of the engine snapshot fingerprint and must be
 	// held fixed wherever bit-identical scores are promised.
 	EMDLargeK int
+	// EMDCostCacheSlots sizes the detector's ground-cost cache: the w−1
+	// EMD solves per push share the incoming signature's cost rows, and
+	// stable-support builders (histogram, grid) share one matrix across
+	// every push. 0 selects emd.DefaultCostCacheSlots, a positive value
+	// is the slot count, and a negative value disables caching. Unlike
+	// EMDLargeK this knob is deliberately NOT part of the snapshot
+	// fingerprint: the cache is bit-transparent (stored costs are the
+	// exact floats the ground function returned and the solver replays
+	// the identical comparison sequence), so scores are the same bits
+	// with the cache on or off.
+	EMDCostCacheSlots int
 	// Seed drives the bootstrap resampling (and nothing else).
 	Seed int64
 }
@@ -183,10 +194,14 @@ func New(cfg Config) (*Detector, error) {
 	if cfg.Bootstrap.Workers == 0 {
 		cfg.Bootstrap.Workers = runtime.GOMAXPROCS(0)
 	}
+	solverOpts := []emd.SolverOption{emd.WithLargeThreshold(cfg.EMDLargeK)}
+	if cfg.EMDCostCacheSlots >= 0 {
+		solverOpts = append(solverOpts, emd.WithCostCache(cfg.EMDCostCacheSlots))
+	}
 	d := &Detector{
 		cfg:     cfg,
 		history: make(map[int]bootstrap.Interval),
-		solver:  emd.NewSolver(emd.WithLargeThreshold(cfg.EMDLargeK)),
+		solver:  emd.NewSolver(solverOpts...),
 		// Persistent shard streams seeded from Config.Seed: the detector
 		// pays no per-push reseeding cost and its output is a deterministic
 		// function of Seed and the pushed sequence, independent of the
@@ -262,7 +277,15 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 	row = row[:len(d.window)+1]
 	row[len(row)-1] = 0 // self-distance slot; the diagonal is ignored
 	for i, s := range d.window {
-		dist, err := d.solver.Distance(s, sig, d.cfg.Ground)
+		var dist float64
+		if d.cfg.EMDCostCacheSlots >= 0 {
+			// Cached entry point: the w−1 solves of this push share the
+			// incoming signature's cost rows, and stable-support builders
+			// hit one matrix across every push. Bit-identical to Distance.
+			dist, err = d.solver.DistanceCached(s, sig, d.cfg.Ground)
+		} else {
+			dist, err = d.solver.Distance(s, sig, d.cfg.Ground)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: EMD between bags %d and %d: %w", d.count-len(d.window)+i, d.count, err)
 		}

@@ -127,6 +127,7 @@ type pairwiseCfg struct {
 	ground      emd.Ground
 	rawMass     bool
 	largeK      int   // emd.WithLargeThreshold for every worker solver
+	cacheSlots  int   // ground-cost cache slots per worker; < 0 disables
 	err         error // first option error, reported at the call site
 }
 
@@ -233,6 +234,20 @@ func WithPairRawMass(raw bool) PairwiseOpt {
 // single-process run.
 func WithPairEMDLargeThreshold(k int) PairwiseOpt {
 	return func(c *pairwiseCfg) { c.largeK = k }
+}
+
+// WithPairEMDCostCache sizes the ground-cost cache each worker solver
+// holds: a tile revisits its ≤2T resident signatures O(T) times, so
+// cached cost rows turn most of a tile's ground-distance work into
+// lookups (with stable-support builders — histogram, grid — a single
+// cached matrix serves the whole tile). 0 (the default) selects
+// emd.DefaultCostCacheSlots, a positive value is the per-worker slot
+// count, and a negative value disables caching. The cache is
+// bit-transparent — the matrix is identical with caching on or off —
+// so unlike the large threshold it does not have to agree across the
+// shards of a sharded run.
+func WithPairEMDCostCache(n int) PairwiseOpt {
+	return func(c *pairwiseCfg) { c.cacheSlots = n }
 }
 
 func resolvePairwise(opts []PairwiseOpt) (pairwiseCfg, error) {
@@ -409,23 +424,38 @@ func computeTiles(sigs []signature.Signature, flat []float64, packed [][]float64
 		}
 	}
 
+	// Each worker gets its own solver and (unless disabled) its own
+	// tile-local ground-cost cache: a tile revisits its ≤2T resident
+	// signatures O(T) times, so cached cost rows serve most of its solves.
+	// The cache is prewarmed for the corpus dimensionality so the sweep
+	// stays allocation-free after warm-up.
+	dim := 0
+	if n > 0 {
+		dim = sigs[0].Dim()
+	}
+	newWorkerSolver := func() *emd.Solver {
+		sv := emd.NewSolver(emd.WithLargeThreshold(cfg.largeK))
+		if cfg.cacheSlots >= 0 {
+			cc := emd.NewCostCache(cfg.cacheSlots)
+			cc.Prewarm(maxLen, dim)
+			sv.SetCostCache(cc)
+		}
+		sv.Prewarm(maxLen)
+		return sv
+	}
 	workers := cfg.workers
 	if workers > len(tiles) {
 		workers = len(tiles)
 	}
 	if workers <= 1 {
-		sv := emd.NewSolver(emd.WithLargeThreshold(cfg.largeK))
-		sv.Prewarm(maxLen)
-		sweep(sv)
+		sweep(newWorkerSolver())
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				sv := emd.NewSolver(emd.WithLargeThreshold(cfg.largeK))
-				sv.Prewarm(maxLen)
-				sweep(sv)
+				sweep(newWorkerSolver())
 			}()
 		}
 		wg.Wait()

@@ -43,7 +43,18 @@ import (
 // diverge from its source run without any fingerprint field
 // disagreeing, so v1 is refused outright — a loud re-run beats a
 // silent drift.
-const SnapshotVersion = 2
+//
+// v3 changed the large path's pricing from per-row candidate lists to
+// per-block candidate queues with a cyclic drain cursor. The pivot
+// ORDER differs from v2, so degenerate K≥128 instances can settle on a
+// different equally-optimal basis and produce different last bits under
+// an unchanged fingerprint — same reasoning as v2, so v2 envelopes are
+// refused. Note what did NOT join the fingerprint: EMDCostCacheSlots.
+// The ground-cost cache is bit-transparent (stored costs are the exact
+// floats the ground returned, replayed through the identical comparison
+// sequence), so cache configuration cannot change any computed value
+// and snapshots may freely cross cache settings.
+const SnapshotVersion = 3
 
 // SignatureState is one window signature in serializable form.
 type SignatureState struct {

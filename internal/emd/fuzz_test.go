@@ -58,6 +58,10 @@ func FuzzSolverDistance(f *testing.F) {
 	f.Add(int64(4), uint8(17), uint8(17), uint8(3), uint16(0x0001), false)
 	f.Add(int64(5), uint8(2), uint8(2), uint8(1), uint16(0xFFFF), false)
 	f.Add(int64(-9), uint8(32), uint8(5), uint8(2), uint16(0x1234), true)
+	// Shapes chosen to stress the cached-solve differentials below:
+	// dup/perm variants of near-square and lopsided instances.
+	f.Add(int64(11), uint8(24), uint8(24), uint8(2), uint16(0x0F00), false)
+	f.Add(int64(12), uint8(48), uint8(7), uint8(1), uint16(0), true)
 	f.Fuzz(func(t *testing.T, seed int64, kS, kT, dim uint8, zeroMask uint16, rawMass bool) {
 		rng := randx.New(seed)
 		d := 1 + int(dim)%3
@@ -113,6 +117,72 @@ func FuzzSolverDistance(f *testing.F) {
 		}
 		if math.Abs(pkg-want) > tol {
 			t.Fatalf("package Distance %.17g vs reference %.17g", pkg, want)
+		}
+
+		// Ground-cost caching must be bit-transparent on BOTH simplex
+		// paths: solve each fuzzed pair twice on a cached solver — the
+		// cold solve stores the cost matrix, the warm solve is served
+		// entirely from it — and require exact equality with the
+		// uncached value both times.
+		cc := NewSolver(WithLargeThreshold(-1), WithCostCache(2))
+		for pass := 0; pass < 2; pass++ {
+			got, err := cc.DistanceCached(s, u, g)
+			if err != nil {
+				t.Fatalf("cached classic (pass %d): %v", pass, err)
+			}
+			if got != classic {
+				t.Fatalf("cached classic (pass %d) %.17g != uncached %.17g (cache must be bit-transparent)", pass, got, classic)
+			}
+		}
+		cl := NewSolver(WithLargeThreshold(1), WithCostCache(2))
+		for pass := 0; pass < 2; pass++ {
+			got, err := cl.DistanceCached(s, u, g)
+			if err != nil {
+				t.Fatalf("cached block-pricing (pass %d): %v", pass, err)
+			}
+			if got != large {
+				t.Fatalf("cached block-pricing (pass %d) %.17g != uncached %.17g (cache must be bit-transparent)", pass, got, large)
+			}
+		}
+
+		// Duplicated and permuted support points preserve the
+		// mathematical EMD but exercise the cache fingerprint on
+		// near-identical supports (a duplicated center must NOT be
+		// confused with its original, a permutation must key its own
+		// entry). Pivot order differs, so the check is against the
+		// reference at tol — plus exact warm==cold on each variant.
+		perm := signature.Signature{
+			Centers: make([][]float64, len(s.Centers)),
+			Weights: make([]float64, len(s.Weights)),
+		}
+		for i := range s.Centers {
+			perm.Centers[len(s.Centers)-1-i] = s.Centers[i]
+			perm.Weights[len(s.Weights)-1-i] = s.Weights[i]
+		}
+		dup := signature.Signature{ // split entry 0's mass across a duplicated center
+			Centers: append([][]float64{s.Centers[0]}, s.Centers...),
+			Weights: append([]float64{s.Weights[0] / 2}, s.Weights...),
+		}
+		dup.Weights[1] = s.Weights[0] - s.Weights[0]/2
+		dp := NewSolver(WithCostCache(3))
+		for _, v := range []struct {
+			name string
+			sig  signature.Signature
+		}{{"permuted", perm}, {"duplicated", dup}} {
+			cold, err := dp.DistanceCached(v.sig, u, g)
+			if err != nil {
+				t.Fatalf("cached %s supports: %v", v.name, err)
+			}
+			if math.Abs(cold-want) > tol {
+				t.Fatalf("%s supports %.17g vs reference %.17g (Δ=%g)", v.name, cold, want, cold-want)
+			}
+			warm, err := dp.DistanceCached(v.sig, u, g)
+			if err != nil {
+				t.Fatalf("cached %s supports (warm): %v", v.name, err)
+			}
+			if warm != cold {
+				t.Fatalf("%s supports: warm %.17g != cold %.17g (cache must be bit-transparent)", v.name, warm, cold)
+			}
 		}
 
 		// Basic metric sanity on every fuzzed instance.

@@ -17,20 +17,25 @@ import (
 //
 // This path replaces both:
 //
-//   - Pricing: Dantzig-style candidate-list pricing over fixed-size row
+//   - Pricing: Dantzig-style candidate-queue pricing over fixed-size row
 //     blocks. Cost rows are computed lazily, a block at a time, the
 //     first time pricing scans them — the matrix backing store is
 //     reused solver scratch, but the O(K²) ground-distance evaluations
-//     are deferred until pricing actually reaches each row. A refill
-//     scans blocks cyclically, RESUMING WHERE THE PREVIOUS REFILL
-//     STOPPED, and shrinks to a target of m/4 refreshed rows instead of
-//     the classic full sweep; only a refill that wraps through every
-//     block without finding a negative reduced cost declares
-//     optimality, so the certificate is still a full Dantzig sweep
-//     against the final potentials. Basis-cell costs are carried in
-//     basisC (filled per cell, not per row), so building the
-//     northwest-corner initial basis costs O(m+n) ground evaluations
-//     rather than forcing O(m·n) rows.
+//     are deferred until pricing actually reaches each row. Each block
+//     owns a queue of its rows' most negative cells (built by the
+//     vectorized priceRow kernel); pivots drain the retained queues —
+//     compacting cells the potentials have since priced out — before
+//     any rescan, with a Cunningham-style cyclic cursor breaking exact
+//     ties toward the least-recently-served block. A refill scans
+//     blocks cyclically, RESUMING WHERE THE PREVIOUS REFILL STOPPED,
+//     and shrinks to a target of m/4 refreshed rows instead of the
+//     classic full sweep; only a refill that wraps through every block
+//     without finding a negative reduced cost declares optimality, so
+//     the certificate is still a full Dantzig sweep against the final
+//     potentials. Basis-cell costs are carried in basisC (filled per
+//     cell, not per row), so building the northwest-corner initial
+//     basis costs O(m+n) ground evaluations rather than forcing O(m·n)
+//     rows.
 //
 //   - Pivoting: the basis tree is kept ROOTED (parentNode/parentArc/
 //     depth per node), in the style of network-simplex implementations
@@ -333,36 +338,74 @@ func (sv *Solver) rehang(start, from, arc int, rowShift, colShift float64) {
 	}
 }
 
-// priceEnterLarge picks the entering cell with candidate-list block
-// pricing. The drain is the classic one: re-price the cached per-row
-// candidates against the current potentials and take the most negative
-// survivor, O(m) per pivot. The refill is where the paths diverge: rows
-// are grouped into fixed-size blocks, the scan starts at the cursor
-// left by the previous refill, rows are lazily computed as the scan
-// reaches them, and the refill shrinks to a target of refillRowTarget
-// refreshed rows instead of the classic full sweep. Only a refill that
-// wraps through every block without a find returns ok=false — by then
-// every row has been computed and freshly priced, so that is the
-// classic full-sweep optimality certificate.
+// priceEnterLarge picks the entering cell with per-block candidate-queue
+// pricing. Each pricing block owns a queue of packed (row, col) cells —
+// the most negative cell of each of its rows at that block's last
+// refill. A drain re-prices every retained queue against the current
+// potentials, compacting out cells that have gone non-negative, and
+// enters the globally most negative survivor (Dantzig over the retained
+// set), so candidates priced by an earlier refill but not pivoted are
+// consumed across later pivots instead of being rediscovered by another
+// sweep. Queues are visited cyclically from the drain cursor, which
+// advances past the block that supplied the entering cell: among exactly
+// equal reduced costs the least-recently-served block wins, a
+// Cunningham-style rotation that (on top of the Charnes perturbation)
+// keeps degenerate ties from revisiting the same rows.
+//
+// When the drain comes up dry, the refill scans blocks cyclically from
+// the cursor left by the previous refill, computing rows lazily and
+// rebuilding each scanned block's queue via the vectorized priceRow
+// kernel, until it has both found a candidate and refreshed
+// refillRowTarget rows. Only a refill that wraps through every block
+// without a find returns ok=false — by then every row has been computed
+// and freshly priced, so that is the classic full-sweep optimality
+// certificate.
 func (sv *Solver) priceEnterLarge() (enterI, enterJ int, r float64, ok bool, err error) {
 	m, n := sv.m, sv.n
 	tol := 1e-10 * (1 + sv.maxCost)
+	bsz := sv.priceB
+	if bsz <= 0 {
+		bsz = DefaultPricingBlock
+	}
+	nblk := (m + bsz - 1) / bsz
 
-	// Drain: re-price the cached per-row candidates.
-	bestI := -1
+	// Drain the retained queues.
+	bestI, bestJ, bestBlk := -1, -1, -1
 	worst := -tol
-	for i := 0; i < m; i++ {
-		j := sv.cand[i]
-		if j < 0 {
+	for scanned := 0; scanned < nblk; scanned++ {
+		blk := sv.qCur + scanned
+		if blk >= nblk {
+			blk -= nblk
+		}
+		qn := sv.blkQn[blk]
+		if qn == 0 {
 			continue
 		}
-		if rc := sv.cost[i*n+j] - sv.u[i] - sv.v[j]; rc < worst {
-			worst = rc
-			bestI = i
+		q := sv.blkQ[blk*bsz : blk*bsz+qn]
+		keep := 0
+		for _, cell := range q {
+			i := int(cell >> 32)
+			j := int(cell & 0xffffffff)
+			rc := sv.cost[i*n+j] - sv.u[i] - sv.v[j]
+			if rc >= -tol {
+				continue // stale under the current potentials: compact out
+			}
+			q[keep] = cell
+			keep++
+			if rc < worst {
+				worst = rc
+				bestI, bestJ, bestBlk = i, j, blk
+			}
 		}
+		sv.blkQn[blk] = keep
 	}
 	if bestI >= 0 {
-		return bestI, sv.cand[bestI], worst, true, nil
+		sv.statCandReuse++
+		sv.qCur = bestBlk + 1
+		if sv.qCur >= nblk {
+			sv.qCur = 0
+		}
+		return bestI, bestJ, worst, true, nil
 	}
 
 	// Refill: cyclic block scan resuming at the cursor. One block of
@@ -371,13 +414,7 @@ func (sv *Solver) priceEnterLarge() (enterI, enterJ int, r float64, ok bool, err
 	// refill keeps scanning until it has both found a candidate and
 	// refreshed refillRowTarget rows, shrinking to that floor instead
 	// of the classic full sweep.
-	bsz := sv.priceB
-	if bsz <= 0 {
-		bsz = DefaultPricingBlock
-	}
-	nblk := (m + bsz - 1) / bsz
 	target := sv.refillRowTarget()
-	bestI = -1
 	rowsScanned := 0
 	for scanned := 0; scanned < nblk; scanned++ {
 		blk := sv.blockCur + scanned
@@ -391,6 +428,8 @@ func (sv *Solver) priceEnterLarge() (enterI, enterJ int, r float64, ok bool, err
 		}
 		rowsScanned += iHi - iLo
 		sv.statRefillRows += iHi - iLo
+		q := sv.blkQ[blk*bsz:]
+		qn := 0
 		for i := iLo; i < iHi; i++ {
 			if !sv.rowReady[i] {
 				if err := sv.fillRow(i); err != nil {
@@ -400,37 +439,38 @@ func (sv *Solver) priceEnterLarge() (enterI, enterJ int, r float64, ok bool, err
 			// Newly computed rows can raise maxCost; keep the tolerance
 			// in step so candidate acceptance matches the final sweep.
 			tol = 1e-10 * (1 + sv.maxCost)
-			ui := sv.u[i]
-			row := sv.cost[i*n : (i+1)*n]
-			bestJ := -1
-			rowWorst := -tol
-			for j := 0; j < n; j++ {
-				if rc := row[j] - ui - sv.v[j]; rc < rowWorst {
-					rowWorst = rc
-					bestJ = j
-				}
+			rowJ, rowWorst := priceRow(sv.cost[i*n:(i+1)*n], sv.v[:n], sv.u[i], -tol)
+			if rowJ < 0 {
+				continue
 			}
-			sv.cand[i] = bestJ
-			if bestJ >= 0 && (bestI < 0 || rowWorst < worst) {
-				bestI = i
+			q[qn] = int64(i)<<32 | int64(rowJ)
+			qn++
+			if bestI < 0 || rowWorst < worst {
+				bestI, bestJ = i, rowJ
 				worst = rowWorst
 			}
 		}
+		sv.blkQn[blk] = qn
 		if bestI >= 0 && rowsScanned >= target {
-			// Resume the NEXT refill after this block.
+			// Resume the NEXT refill after this block, and rotate the
+			// drain cursor past the block that supplied the entering cell.
 			sv.blockCur = blk + 1
 			if sv.blockCur >= nblk {
 				sv.blockCur = 0
 			}
-			return bestI, sv.cand[bestI], worst, true, nil
+			sv.qCur = bestI/bsz + 1
+			if sv.qCur >= nblk {
+				sv.qCur = 0
+			}
+			return bestI, bestJ, worst, true, nil
 		}
 	}
 	if bestI < 0 {
 		return 0, 0, 0, false, nil
 	}
 	// Candidates surfaced only while completing the wrap; the cursor
-	// position is immaterial because every block was just refreshed.
-	return bestI, sv.cand[bestI], worst, true, nil
+	// positions are immaterial because every block was just refreshed.
+	return bestI, bestJ, worst, true, nil
 }
 
 // refillRowTarget is the number of rows a large-path refill refreshes

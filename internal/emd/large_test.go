@@ -79,7 +79,12 @@ func TestDistanceLargeMatchesReference(t *testing.T) {
 // solve, so history cannot leak between calls).
 func TestDistanceAutoSelectionBitMatchesForced(t *testing.T) {
 	rng := randx.New(31)
-	auto := NewSolver(WithLargeThreshold(12))
+	// Threshold 1: every pair is large-eligible, so auto dispatch runs the
+	// block-pricing code on all trials (randomSig treats its size argument
+	// as a maximum — a higher threshold would silently route the short
+	// draws onto the classic path, which only promises tolerance-level
+	// agreement with the large path, not bit equality).
+	auto := NewSolver(WithLargeThreshold(1))
 	forced := NewSolver()
 	for trial := 0; trial < 50; trial++ {
 		s := randomSig(rng, 2, 12+rng.Intn(20), 1+rng.Float64())

@@ -1,0 +1,62 @@
+package emd
+
+// priceRow computes the reduced costs of one cost-matrix row and returns
+// the column index of the first strict minimum below worst0 (or -1), plus
+// the winning value. It is the vectorized replacement for the solver's
+// dense pricing loops: the equal-length reslices let the compiler drop
+// every per-iteration bounds check, and the 4-wide unroll keeps four
+// independent subtraction chains in flight.
+//
+// Selection semantics are bit-identical to the scalar loop
+//
+//	for j := 0; j < n; j++ {
+//	    if rc := row[j] - ui - v[j]; rc < rowWorst { rowWorst, bestJ = rc, j }
+//	}
+//
+// the unrolled lanes are compared sequentially in index order against the
+// running worst with the same strict <, so ties resolve to the lowest j
+// exactly as before. Callers rely on this: pivot sequences (and therefore
+// final bits) must not change with the kernel swap.
+func priceRow(row, v []float64, ui, worst0 float64) (int, float64) {
+	n := len(row)
+	if len(v) < n {
+		n = len(v)
+	}
+	row = row[:n]
+	v = v[:n:n]
+
+	bestJ := -1
+	worst := worst0
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		r := row[j : j+4 : j+4]
+		w := v[j : j+4 : j+4]
+		rc0 := r[0] - ui - w[0]
+		rc1 := r[1] - ui - w[1]
+		rc2 := r[2] - ui - w[2]
+		rc3 := r[3] - ui - w[3]
+		if rc0 < worst {
+			worst = rc0
+			bestJ = j
+		}
+		if rc1 < worst {
+			worst = rc1
+			bestJ = j + 1
+		}
+		if rc2 < worst {
+			worst = rc2
+			bestJ = j + 2
+		}
+		if rc3 < worst {
+			worst = rc3
+			bestJ = j + 3
+		}
+	}
+	for ; j < n; j++ {
+		if rc := row[j] - ui - v[j]; rc < worst {
+			worst = rc
+			bestJ = j
+		}
+	}
+	return bestJ, worst
+}

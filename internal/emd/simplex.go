@@ -272,19 +272,13 @@ func (sv *Solver) priceEnter(tol float64) (enterI, enterJ int, r float64, ok boo
 		return bestI, sv.cand[bestI], worst, true
 	}
 
-	// Refill: rebuild every row's best candidate in one full scan.
+	// Refill: rebuild every row's best candidate in one full scan. The
+	// row sweep goes through the vectorized kernel; priceRow's selection
+	// is bit-identical to the scalar loop it replaced, so the classic
+	// path's pivot sequence (and the golden trace) is unchanged.
 	sv.statRefillRows += m
 	for i := 0; i < m; i++ {
-		ui := sv.u[i]
-		row := sv.cost[i*n : (i+1)*n]
-		bestJ := -1
-		rowWorst := -tol
-		for j := 0; j < n; j++ {
-			if rc := row[j] - ui - sv.v[j]; rc < rowWorst {
-				rowWorst = rc
-				bestJ = j
-			}
-		}
+		bestJ, rowWorst := priceRow(sv.cost[i*n:(i+1)*n], sv.v[:n], sv.u[i], -tol)
 		sv.cand[i] = bestJ
 		if rowWorst < worst {
 			worst = rowWorst

@@ -55,6 +55,25 @@ func WithPricingBlock(rows int) SolverOption {
 	}
 }
 
+// WithCostCache attaches a fresh ground-cost cache with the given number
+// of slots at construction (<= 0 selects DefaultCostCacheSlots). Unlike
+// the threshold and block-size knobs, caching is bit-transparent —
+// every solve produces the identical floats with the cache on or off —
+// so it never participates in snapshot fingerprints.
+func WithCostCache(slots int) SolverOption {
+	return func(sv *Solver) { sv.cache = NewCostCache(slots) }
+}
+
+// SetCostCache attaches c to the solver — every subsequent solve
+// (Distance, DistanceValidated, DistanceLarge, DistanceFlow,
+// DistanceCached) consults it. Passing nil detaches caching. Batch
+// drivers that Prewarm share nothing: the cache, like the solver, must
+// be per-worker.
+func (sv *Solver) SetCostCache(c *CostCache) { sv.cache = c }
+
+// CostCache returns the attached cache, nil if none.
+func (sv *Solver) CostCache() *CostCache { return sv.cache }
+
 // Solver is a reusable transportation-simplex workspace. All scratch
 // state — the flat row-major cost matrix, the basis tree, the MODI
 // potentials, and the BFS buffers — is owned by the Solver and recycled
@@ -151,12 +170,40 @@ type Solver struct {
 	// Cycle scratch: the entering cell's two tree-path halves.
 	cycA, cycB []int
 
+	// --- Cost amortization (CostCache) ----------------------------------
+
+	// cache is the attached ground-cost cache (nil = no caching). cEnt is
+	// the entry checked out for the in-flight large-path solve; the
+	// classic path completes eagerly and never holds one across calls.
+	cache *CostCache
+	cEnt  *costEntry
+
+	// Per-block candidate queues (large path): blkQ holds nblk segments
+	// of bsz packed (i<<32 | j) cells each, blkQn the live count per
+	// block, qCur the cyclic drain cursor. Candidates priced by a refill
+	// but not pivoted are retained here instead of being rediscovered by
+	// the next refill sweep; qCur rotates ties toward the
+	// least-recently-served block (Cunningham-style anti-cycling).
+	blkQ  []int64
+	blkQn []int
+	qCur  int
+
 	// Per-solve pivot/refill-row counters, reset by both solve paths.
 	// They cost two increments per pivot and feed Stats (the solverscale
 	// experiment reports them; tests use them to assert the large path
 	// actually scans fewer cells).
 	statPivots     int
 	statRefillRows int
+
+	// Cost-amortization counters, reset by stageProblem / the 1-D closed
+	// form and published into the process-wide totals when the solve
+	// returns: ground evaluations performed, cost cells served from /
+	// stored into the cache, and pivots served from the retained
+	// candidate queues without a refill.
+	statGroundEvals int
+	statCacheHits   int
+	statCacheMisses int
+	statCandReuse   int
 }
 
 // SolverStats reports how the last solve spent its time: simplex pivots
@@ -166,11 +213,28 @@ type Solver struct {
 type SolverStats struct {
 	Pivots     int
 	RefillRows int
+	// GroundEvals counts ground-distance evaluations actually performed
+	// (cache hits are not evaluations).
+	GroundEvals int
+	// CacheHits / CacheMisses count cost cells served from / stored into
+	// the attached CostCache; both are zero when no cache is attached.
+	CacheHits   int
+	CacheMisses int
+	// CandReuse counts pivots on the large path that were served from the
+	// retained per-block candidate queues without any refill scan.
+	CandReuse int
 }
 
 // Stats returns the counters of the last Distance/DistanceFlow call.
 func (sv *Solver) Stats() SolverStats {
-	return SolverStats{Pivots: sv.statPivots, RefillRows: sv.statRefillRows}
+	return SolverStats{
+		Pivots:      sv.statPivots,
+		RefillRows:  sv.statRefillRows,
+		GroundEvals: sv.statGroundEvals,
+		CacheHits:   sv.statCacheHits,
+		CacheMisses: sv.statCacheMisses,
+		CandReuse:   sv.statCandReuse,
+	}
 }
 
 // NewSolver returns an empty Solver; buffers grow on first use and are
@@ -243,6 +307,20 @@ func (sv *Solver) Prewarm(k int) {
 	if cap(sv.cycB) < nb {
 		sv.cycB = make([]int, 0, nb)
 	}
+	// Candidate-queue segments: one bsz-capacity queue per pricing block.
+	bsz := sv.priceB
+	if bsz <= 0 {
+		bsz = DefaultPricingBlock
+	}
+	nblk := (m + bsz - 1) / bsz
+	sv.blkQ = growInt64s(sv.blkQ, nblk*bsz)
+	sv.blkQn = growInts(sv.blkQn, nblk)
+	// An attached cache is prewarmed with a 3-dimensional-center margin
+	// (covers every center dimensionality this repo ships; higher-dim
+	// workloads should CostCache.Prewarm(k, dim) directly).
+	if sv.cache != nil {
+		sv.cache.Prewarm(k, 3)
+	}
 }
 
 var solverPool = sync.Pool{New: func() any { return NewSolver() }}
@@ -282,6 +360,27 @@ func (sv *Solver) DistanceValidated(s, t signature.Signature, g Ground) (float64
 	return sv.distance(s, t, g)
 }
 
+// DistanceCached is Distance with ground-cost caching guaranteed on: if
+// no CostCache is attached yet, a DefaultCostCacheSlots cache is created
+// and attached first, then the call proceeds exactly as Distance. The
+// returned floats are bit-identical to an uncached Distance on the same
+// inputs — the cache stores the exact values the ground function
+// returned and the solver replays the identical comparison sequence —
+// so callers may mix DistanceCached and Distance freely. The win is on
+// repeats: once a support pair's cost rows are cached, re-solves of the
+// same supports (the detector window, histogram/grid builders, pairwise
+// tiles) skip every ground evaluation, including the O(m+n) NW-corner
+// basis costs.
+func (sv *Solver) DistanceCached(s, t signature.Signature, g Ground) (float64, error) {
+	if err := validatePair(s, t); err != nil {
+		return 0, err
+	}
+	if sv.cache == nil {
+		sv.cache = NewCostCache(0)
+	}
+	return sv.distance(s, t, g)
+}
+
 // largeEligible reports whether Distance auto-selects the block-pricing
 // path for this pair: either signature at or above the threshold. The
 // raw lengths (not the zero-weight-filtered sizes) decide, so the
@@ -300,6 +399,7 @@ func (sv *Solver) largeEligible(s, t signature.Signature) bool {
 // distance dispatches a validated pair onto the closed form or one of
 // the two simplex paths.
 func (sv *Solver) distance(s, t signature.Signature, g Ground) (float64, error) {
+	defer sv.publishStats()
 	if s.Dim() == 1 && euclideanGround(g) {
 		ws, wt := s.TotalWeight(), t.TotalWeight()
 		if balancedTotals(ws, wt) {
@@ -336,6 +436,7 @@ func (sv *Solver) DistanceLarge(s, t signature.Signature, g Ground) (float64, er
 	if err := validatePair(s, t); err != nil {
 		return 0, err
 	}
+	defer sv.publishStats()
 	if s.Dim() == 1 && euclideanGround(g) {
 		ws, wt := s.TotalWeight(), t.TotalWeight()
 		if balancedTotals(ws, wt) {
@@ -373,6 +474,7 @@ func (sv *Solver) DistanceFlow(s, t signature.Signature, g Ground) (*Result, err
 	if err := validatePair(s, t); err != nil {
 		return nil, err
 	}
+	defer sv.publishStats()
 	if g == nil {
 		g = Euclidean
 	}
@@ -443,6 +545,7 @@ func (sv *Solver) distance1D(s, t signature.Signature) float64 {
 // skips two O(K) sweeps per pair on the hot path.
 func (sv *Solver) distance1DTotals(s, t signature.Signature, totS, totT float64) float64 {
 	sv.statPivots, sv.statRefillRows = 0, 0
+	sv.statGroundEvals, sv.statCacheHits, sv.statCacheMisses, sv.statCandReuse = 0, 0, 0, 0
 	ln := s.Len() + t.Len()
 	if cap(sv.events) < ln {
 		sv.events = make([]ev1d, ln)
@@ -473,6 +576,10 @@ func (sv *Solver) distance1DTotals(s, t signature.Signature, totS, totT float64)
 // returns the total moved amount min(ΣW, ΣW′) plus the filtered sizes
 // and dummy placement the cost-matrix half needs.
 func (sv *Solver) stageProblem(s, t signature.Signature) (amount float64, m0, n0 int, dummyRow, dummyCol bool, err error) {
+	// Reset the amortization counters here rather than in the simplex
+	// stages: prepare/prepareLarge perform ground evaluations (and cache
+	// traffic) before any stage function runs.
+	sv.statGroundEvals, sv.statCacheHits, sv.statCacheMisses, sv.statCandReuse = 0, 0, 0, 0
 	sv.srcIdx = sv.srcIdx[:0]
 	totS := 0.0
 	for i, w := range s.Weights {
@@ -541,18 +648,41 @@ func (sv *Solver) prepare(s, t signature.Signature, g Ground) (float64, error) {
 	}
 	n := sv.n
 	sv.cost = growFloats(sv.cost, sv.m*n)
+	var ent *costEntry
+	if sv.cache != nil {
+		ent = sv.cache.acquire(s, t, sv.srcIdx, sv.dstIdx, s.Dim(), groundPtr(g))
+	}
 	maxCost := 0.0
 	for i := 0; i < m0; i++ {
-		ci := s.Centers[sv.srcIdx[i]]
 		row := sv.cost[i*n : (i+1)*n]
-		for j := 0; j < n0; j++ {
-			d := g(ci, t.Centers[sv.dstIdx[j]])
-			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-				return 0, fmt.Errorf("emd: ground distance returned %g", d)
+		if ent != nil && ent.rowDone[i] {
+			// Cache hit: copy the stored row, then replay the identical
+			// maxCost comparison sequence over the identical floats so the
+			// pricing tolerance evolves exactly as in an uncached solve.
+			copy(row[:n0], ent.cost[i*n0:(i+1)*n0])
+			for j := 0; j < n0; j++ {
+				if d := row[j]; d > maxCost {
+					maxCost = d
+				}
 			}
-			row[j] = d
-			if d > maxCost {
-				maxCost = d
+			sv.statCacheHits += n0
+		} else {
+			ci := s.Centers[sv.srcIdx[i]]
+			for j := 0; j < n0; j++ {
+				d := g(ci, t.Centers[sv.dstIdx[j]])
+				if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+					return 0, fmt.Errorf("emd: ground distance returned %g", d)
+				}
+				row[j] = d
+				if d > maxCost {
+					maxCost = d
+				}
+			}
+			sv.statGroundEvals += n0
+			if ent != nil {
+				copy(ent.cost[i*n0:(i+1)*n0], row[:n0])
+				ent.rowDone[i] = true
+				sv.statCacheMisses += n0
 			}
 		}
 		if dummyCol {
@@ -597,6 +727,24 @@ func (sv *Solver) prepareLarge(s, t signature.Signature, g Ground) (float64, err
 	sv.lazyG = g
 	sv.lazyN0 = n0
 	sv.lazyDummyCol = dummyCol
+	sv.cEnt = nil
+	if sv.cache != nil {
+		sv.cEnt = sv.cache.acquire(s, t, sv.srcIdx, sv.dstIdx, s.Dim(), groundPtr(g))
+	}
+	// Candidate queues: one bsz-capacity segment per pricing block, all
+	// empty at the start of a solve (queued cells reference the potentials
+	// of the solve that priced them).
+	bsz := sv.priceB
+	if bsz <= 0 {
+		bsz = DefaultPricingBlock
+	}
+	nblk := (m + bsz - 1) / bsz
+	sv.blkQ = growInt64s(sv.blkQ, nblk*bsz)
+	sv.blkQn = growInts(sv.blkQn, nblk)
+	for b := 0; b < nblk; b++ {
+		sv.blkQn[b] = 0
+	}
+	sv.qCur = 0
 	if dummyRow {
 		row := sv.cost[m0*n : (m0+1)*n]
 		for j := range row {
@@ -615,7 +763,9 @@ func (sv *Solver) prepareLarge(s, t signature.Signature, g Ground) (float64, err
 }
 
 // releaseLazy drops the center views captured by prepareLarge so a
-// pooled solver does not pin the last pair's signature data.
+// pooled solver does not pin the last pair's signature data. The cache
+// entry checkout is dropped too — entries are only valid within the
+// solve that acquired them (a later acquire may evict or rebuild them).
 func (sv *Solver) releaseLazy() {
 	for i := range sv.lazySrcC {
 		sv.lazySrcC[i] = nil
@@ -624,28 +774,48 @@ func (sv *Solver) releaseLazy() {
 		sv.lazyDstC[j] = nil
 	}
 	sv.lazyG = nil
+	sv.cEnt = nil
 }
 
 // fillRow computes cost row i of the lazy matrix (all real columns plus
-// the zero dummy column) and marks it ready.
+// the zero dummy column) and marks it ready. A cached row is copied and
+// its maxCost comparisons replayed in the identical order, so tolerance
+// evolution is bit-identical to the uncached solve.
 func (sv *Solver) fillRow(i int) error {
 	n := sv.n
-	ci := sv.lazySrcC[i]
+	n0 := sv.lazyN0
 	row := sv.cost[i*n : (i+1)*n]
-	g := sv.lazyG
 	maxCost := sv.maxCost
-	for j := 0; j < sv.lazyN0; j++ {
-		d := g(ci, sv.lazyDstC[j])
-		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-			return fmt.Errorf("emd: ground distance returned %g", d)
+	if ent := sv.cEnt; ent != nil && ent.rowDone[i] {
+		copy(row[:n0], ent.cost[i*n0:(i+1)*n0])
+		for j := 0; j < n0; j++ {
+			if d := row[j]; d > maxCost {
+				maxCost = d
+			}
 		}
-		row[j] = d
-		if d > maxCost {
-			maxCost = d
+		sv.statCacheHits += n0
+	} else {
+		ci := sv.lazySrcC[i]
+		g := sv.lazyG
+		for j := 0; j < n0; j++ {
+			d := g(ci, sv.lazyDstC[j])
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return fmt.Errorf("emd: ground distance returned %g", d)
+			}
+			row[j] = d
+			if d > maxCost {
+				maxCost = d
+			}
+		}
+		sv.statGroundEvals += n0
+		if ent := sv.cEnt; ent != nil {
+			copy(ent.cost[i*n0:(i+1)*n0], row[:n0])
+			ent.rowDone[i] = true
+			sv.statCacheMisses += n0
 		}
 	}
 	if sv.lazyDummyCol {
-		row[sv.lazyN0] = 0
+		row[n0] = 0
 	}
 	sv.maxCost = maxCost
 	sv.rowReady[i] = true
@@ -665,9 +835,30 @@ func (sv *Solver) lazyCost(i, j int) (float64, error) {
 	if sv.lazyDummyCol && j == sv.lazyN0 {
 		return 0, nil
 	}
+	// Single-cell cache traffic: NW-corner basis costs are looked up (and
+	// stored) cell-by-cell, so a warm re-solve skips even the O(m+n)
+	// basis ground evaluations that never belong to a filled row.
+	if ent := sv.cEnt; ent != nil {
+		idx := i*ent.n0 + j
+		if ent.rowDone[i] || ent.cellDone[idx] {
+			d := ent.cost[idx]
+			if d > sv.maxCost {
+				sv.maxCost = d
+			}
+			sv.statCacheHits++
+			return d, nil
+		}
+	}
 	d := sv.lazyG(sv.lazySrcC[i], sv.lazyDstC[j])
 	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
 		return 0, fmt.Errorf("emd: ground distance returned %g", d)
+	}
+	sv.statGroundEvals++
+	if ent := sv.cEnt; ent != nil {
+		idx := i*ent.n0 + j
+		ent.cost[idx] = d
+		ent.cellDone[idx] = true
+		sv.statCacheMisses++
 	}
 	if d > sv.maxCost {
 		sv.maxCost = d
@@ -687,6 +878,13 @@ func growInts(s []int, n int) []int {
 		return s[:n]
 	}
 	return make([]int, n)
+}
+
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
 }
 
 func growBools(s []bool, n int) []bool {

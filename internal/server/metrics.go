@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/emd"
 )
 
 // latencyWindow is the number of recent batch latencies the quantile
@@ -89,6 +91,14 @@ func (m *metrics) render(w io.Writer, open, pooled int) {
 	counter("bagcpd_evictions_total", "Idle streams evicted.", m.evictions.Load())
 	counter("bagcpd_snapshots_total", "Engine snapshots served.", m.snapshots.Load())
 	counter("bagcpd_restores_total", "Engine restores applied.", m.restores.Load())
+
+	// EMD cost-amortization totals, sampled from the solver package at
+	// scrape time (every detector solve publishes into them). The hit:eval
+	// ratio shows how much ground-distance work the cost caches absorb.
+	ge, ch, cm := emd.GlobalStats()
+	counter("emd_ground_evals_total", "Ground-distance evaluations performed by EMD solves.", ge)
+	counter("emd_cost_cache_hits_total", "Cost cells served from EMD ground-cost caches.", ch)
+	counter("emd_cost_cache_misses_total", "Cost cells computed and stored into EMD ground-cost caches.", cm)
 
 	q50, q90, q99, count, sum := m.quantiles()
 	fmt.Fprintf(w, "# HELP bagcpd_push_batch_seconds Push batch latency (window of last %d batches).\n", latencyWindow)

@@ -587,6 +587,12 @@ func TestMetricsExposition(t *testing.T) {
 		"bagcpd_push_batch_seconds_count 7",
 		"bagcpd_detector_pool_free 0",
 		"bagcpd_inflight_batches 0",
+		// EMD cost-amortization totals sampled from the solver package.
+		// Values are process-wide (other tests solve EMDs too), so assert
+		// only that the families are exposed.
+		"# TYPE emd_ground_evals_total counter",
+		"# TYPE emd_cost_cache_hits_total counter",
+		"# TYPE emd_cost_cache_misses_total counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)

@@ -324,6 +324,22 @@ func WithEMDLargeThreshold(k int) Option {
 	return Option{func(c *core.EngineConfig) { c.Template.EMDLargeK = k }}
 }
 
+// WithEMDCostCache sizes the ground-cost cache each stream detector's
+// EMD solver holds. The w−1 solves of a push all involve the incoming
+// signature, and stable-support builders (histogram, grid) emit
+// bit-identical support sets on every bag, so cached cost rows replace
+// most ground-distance evaluations with lookups. n = 0 — the default —
+// selects emd.DefaultCostCacheSlots, a positive value is the slot
+// count, and a negative value disables caching. Unlike the large
+// threshold, the cache is bit-transparent — every score is the same
+// bits with caching on or off — so this knob is NOT part of the
+// snapshot fingerprint and engines may restore across different cache
+// settings. Watch emd_ground_evals_total vs emd_cost_cache_hits_total
+// on /metrics to see the absorption ratio.
+func WithEMDCostCache(n int) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.EMDCostCacheSlots = n }}
+}
+
 // WithSeed sets the engine base seed. Each stream gets the derived seed
 // randx.SplitSeedString(seed, streamID), so per-stream output is a
 // deterministic function of (seed, stream id, pushed bags) only —
@@ -474,6 +490,12 @@ func WithPairRawMass(raw bool) PairwiseOpt { return core.WithPairRawMass(raw) }
 // shards of one sharded run must agree on it; see
 // core.WithPairEMDLargeThreshold.
 func WithPairEMDLargeThreshold(k int) PairwiseOpt { return core.WithPairEMDLargeThreshold(k) }
+
+// WithPairEMDCostCache sizes the tile-local ground-cost cache each
+// worker solver holds (0 selects the emd default, negative disables).
+// Bit-transparent — the matrix is identical with caching on or off —
+// so shards need not agree on it; see core.WithPairEMDCostCache.
+func WithPairEMDCostCache(n int) PairwiseOpt { return core.WithPairEMDCostCache(n) }
 
 // PairwiseEMDTiled computes the full pairwise EMD matrix with the tiled
 // engine. The result is a pure function of the signature configuration
