@@ -355,6 +355,53 @@ func BenchmarkDetectorPushHistogram(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorPushMixedSupport bounds the default-on cost of the
+// ground-cost cache on its adversarial workload: a k-means builder emits
+// a distinct support set per bag, so the window's τ+τ′−1 solves per push
+// compete for DefaultCostCacheSlots LRU slots with a near-zero hit rate
+// while every solve still pays the support hash and slot scan.
+// BENCH_PR6.json records cache vs nocache; heterogeneous-support streams
+// that find the gap measurable should set EMDCostCacheSlots < 0.
+func BenchmarkDetectorPushMixedSupport(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		slots int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := randx.New(6)
+			det, err := NewDetector(Config{
+				Tau: 8, TauPrime: 8,
+				Builder:           NewKMeansBuilder(16, 11),
+				Ground:            emd.Manhattan,
+				Bootstrap:         BootstrapConfig{Replicates: 100, Workers: 1},
+				EMDCostCacheSlots: tc.slots,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bags := make([]Bag, 64)
+			for t := range bags {
+				vals := make([]float64, 300)
+				for i := range vals {
+					vals[i] = rng.Normal(0, 1)
+				}
+				bags[t] = BagFromScalars(t, vals)
+			}
+			for t := 0; t < 20; t++ { // warm the window
+				if _, err := det.Push(bags[t%len(bags)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Push(bags[i%len(bags)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md §5) --------------------------------------
 
 // ablationSequence is a shared mean-shift workload for the ablations.

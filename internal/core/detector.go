@@ -111,7 +111,12 @@ type Config struct {
 	// EMD solves per push share the incoming signature's cost rows, and
 	// stable-support builders (histogram, grid) share one matrix across
 	// every push. 0 selects emd.DefaultCostCacheSlots, a positive value
-	// is the slot count, and a negative value disables caching. Unlike
+	// is the slot count, and a negative value disables caching.
+	// Clustering builders (k-means, k-medoids, online) emit a distinct
+	// support set per bag, so the window's pairs overwhelm the default
+	// slots and hits are rare while every solve still pays the support
+	// hash; streams where that overhead is measurable (see
+	// BenchmarkDetectorPushMixedSupport) should set this negative. Unlike
 	// EMDLargeK this knob is deliberately NOT part of the snapshot
 	// fingerprint: the cache is bit-transparent (stored costs are the
 	// exact floats the ground function returned and the solver replays

@@ -117,23 +117,38 @@ func (c *CostCache) Slots() int { return len(c.slots) }
 // DistanceCached call stores its matrix without allocating. Solver.Prewarm
 // calls this with dim = 3 for an attached cache; workloads with
 // higher-dimensional centers should Prewarm the cache directly.
+//
+// A live entry whose buffers must be reallocated to reach the new size
+// is dropped (grow* hands back fresh zeroed memory, not a copy), so a
+// post-use Prewarm to a larger k degrades warm entries to misses — it
+// never serves zeroed costs as if they were priced.
 func (c *CostCache) Prewarm(k, dim int) {
 	if k <= 0 || dim <= 0 {
 		return
 	}
 	for i := range c.slots {
 		e := &c.slots[i]
-		used, m0, n0, d := e.used, e.m0, e.n0, e.dim
+		grown := cap(e.pts) < 2*k*dim || cap(e.cost) < k*k ||
+			cap(e.rowDone) < k || cap(e.cellDone) < k*k
 		e.pts = growFloats(e.pts, 2*k*dim)
 		e.cost = growFloats(e.cost, k*k)
 		e.rowDone = growBools(e.rowDone, k)
 		e.cellDone = growBools(e.cellDone, k*k)
-		if used {
+		switch {
+		case e.used && grown:
+			// Reallocation zeroed the entry's contents: rowDone/cellDone
+			// would still claim rows are priced while cost is all zeros.
+			// Invalidate rather than corrupt.
+			e.used = false
+			if c.last == e {
+				c.last = nil
+			}
+		case e.used:
 			// Re-expose the live entry's views (grow* reslices).
-			e.pts = e.pts[:(m0+n0)*d]
-			e.cost = e.cost[:m0*n0]
-			e.rowDone = e.rowDone[:m0]
-			e.cellDone = e.cellDone[:m0*n0]
+			e.pts = e.pts[:(e.m0+e.n0)*e.dim]
+			e.cost = e.cost[:e.m0*e.n0]
+			e.rowDone = e.rowDone[:e.m0]
+			e.cellDone = e.cellDone[:e.m0*e.n0]
 		}
 	}
 }

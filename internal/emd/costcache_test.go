@@ -279,6 +279,64 @@ func TestCostCacheGroundSwitchFlush(t *testing.T) {
 	}
 }
 
+// TestCostCachePrewarmAfterUseStaysCorrect is the regression test for a
+// Prewarm-corruption bug: growing a used entry's cost buffer reallocates
+// zeroed memory, but the survived rowDone flags still claimed the rows
+// were priced, so a post-use Prewarm to a larger k made warm re-solves
+// return 0. Prewarm must instead invalidate any live entry whose buffers
+// move (a miss, never a wrong matrix), and keep entries warm when the
+// buffers already have capacity.
+func TestCostCachePrewarmAfterUseStaysCorrect(t *testing.T) {
+	rng := randx.New(4242)
+	// Asymmetric supports (64×4) make the cost buffer (m0·n0 = 256
+	// floats) smaller than the post-Prewarm k·k requirement while rowDone
+	// (cap 64) already covers it — the exact mismatch that corrupted.
+	s := randomSig(rng, 2, 64, 1)
+	u := randomSig(rng, 2, 4, 1)
+	want, err := NewSolver().Distance(s, u, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("grow-invalidates", func(t *testing.T) {
+		sv := NewSolver(WithCostCache(2))
+		if got, err := sv.DistanceCached(s, u, Euclidean); err != nil || got != want {
+			t.Fatalf("cold solve: got %.17g (err %v), want %.17g", got, err, want)
+		}
+		sv.Prewarm(20) // 20·20 > 64·4: reallocates cost, keeps rowDone
+		got, err := sv.DistanceCached(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("re-solve after post-use Prewarm: got %.17g, want %.17g — Prewarm served zeroed costs as cached", got, want)
+		}
+		if st := sv.Stats(); st.GroundEvals == 0 {
+			t.Error("grown entry must be repriced, performed 0 ground evals")
+		}
+	})
+
+	t.Run("no-grow-keeps-warm", func(t *testing.T) {
+		sv := NewSolver(WithCostCache(2))
+		if got, err := sv.DistanceCached(s, u, Euclidean); err != nil || got != want {
+			t.Fatalf("cold solve: got %.17g (err %v), want %.17g", got, err, want)
+		}
+		// Every buffer already has capacity for k=4, dim=2: the live
+		// entry must survive and the re-solve stay a zero-eval hit.
+		sv.CostCache().Prewarm(4, 2)
+		got, err := sv.DistanceCached(s, u, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("re-solve after no-op Prewarm: got %.17g, want %.17g", got, want)
+		}
+		if st := sv.Stats(); st.GroundEvals != 0 {
+			t.Errorf("capacity-covered Prewarm dropped a warm entry: %d ground evals, want 0", st.GroundEvals)
+		}
+	})
+}
+
 // TestPrewarmedSolverFirstDistanceCachedZeroAllocs extends the Prewarm
 // zero-alloc guarantee to the cached entry point: a fresh solver with an
 // attached cache that was Prewarmed for the signature size must not

@@ -60,6 +60,12 @@ func WithPricingBlock(rows int) SolverOption {
 // the threshold and block-size knobs, caching is bit-transparent —
 // every solve produces the identical floats with the cache on or off —
 // so it never participates in snapshot fingerprints.
+//
+// Caching requires the ground function to be pure and identified by its
+// code pointer: two closures sharing code but capturing different state
+// (e.g. from a scaled-metric factory) look identical to the cache and
+// would share entries, yielding wrong distances. Pass package-level
+// functions, or a distinct function per parameterization.
 func WithCostCache(slots int) SolverOption {
 	return func(sv *Solver) { sv.cache = NewCostCache(slots) }
 }
@@ -371,6 +377,13 @@ func (sv *Solver) DistanceValidated(s, t signature.Signature, g Ground) (float64
 // same supports (the detector window, histogram/grid builders, pairwise
 // tiles) skip every ground evaluation, including the O(m+n) NW-corner
 // basis costs.
+//
+// Because caching is auto-attached here, g must be pure: the cache keys
+// the ground by its code pointer, so closures that share code but
+// capture different state (a scaled-metric factory, say) would silently
+// share entries and return wrong distances. Pass package-level
+// functions; for parameterized grounds use Distance, or a distinct
+// function per parameterization.
 func (sv *Solver) DistanceCached(s, t signature.Signature, g Ground) (float64, error) {
 	if err := validatePair(s, t); err != nil {
 		return 0, err
