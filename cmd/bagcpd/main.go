@@ -78,8 +78,20 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "serve mode: concurrent push batches before 429 (0 = default)")
 		maxBatch    = flag.Int("max-batch", 0, "serve mode: max bags per push batch (0 = default)")
 		idleTTL     = flag.Duration("idle-ttl", 0, "serve mode: evict streams idle this long (0 disables eviction)")
+		snapOnExit  = flag.String("snapshot-on-exit", "", "serve mode: write a final engine snapshot to this path during graceful SIGINT/SIGTERM drain")
+
+		route    = flag.String("route", "", "run as a cluster router on this address, forwarding to -members")
+		members  = flag.String("members", "", "route mode: comma-separated member base URLs (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
+		replicas = flag.Int("replicas", 0, "route mode: virtual nodes per member on the hash ring (0 = default)")
 	)
 	flag.Parse()
+
+	if *route != "" {
+		if err := runRoute(*route, *members, *replicas); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	var factory repro.BuilderFactory
 	var builderTag string
@@ -116,7 +128,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := runServe(eng, *serve, *maxInflight, *maxBatch, *idleTTL); err != nil {
+		if err := runServe(eng, *serve, *maxInflight, *maxBatch, *idleTTL, *snapOnExit); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -401,10 +413,11 @@ func readCSV(r io.Reader, det *repro.Detector, emit func(*repro.Point)) error {
 
 // runServe runs the engine as an HTTP service until SIGINT/SIGTERM,
 // then drains: the listener stops, in-flight requests finish, the
-// eviction janitor halts and the engine shuts down. The bound address is
-// announced on stderr so callers using port 0 (and the integration
-// tests) can find the service.
-func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL time.Duration) error {
+// eviction janitor halts, a final snapshot is persisted when
+// -snapshot-on-exit asked for one, and the engine shuts down. The bound
+// address is announced on stderr so callers using port 0 (and the
+// integration tests) can find the service.
+func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL time.Duration, snapOnExit string) error {
 	srv, err := repro.NewServer(repro.ServerConfig{
 		Engine:       eng,
 		MaxInFlight:  maxInflight,
@@ -437,9 +450,43 @@ func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := httpSrv.Shutdown(ctx)
+		// Persist the final state AFTER the listener drained (no pushes
+		// can be in flight) and BEFORE the engine shuts down. The
+		// envelope is the same one /v1/snapshot serves: POST it to
+		// another instance's /v1/restore — or a router's migration flow —
+		// to resume every stream bit-identically.
+		if snapOnExit != "" {
+			if serr := writeSnapshot(eng, snapOnExit); serr != nil {
+				fmt.Fprintf(os.Stderr, "bagcpd: snapshot-on-exit: %v\n", serr)
+				if err == nil {
+					err = serr
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "bagcpd: final snapshot written to %s\n", snapOnExit)
+			}
+		}
 		eng.Shutdown()
 		return err
 	}
+}
+
+// writeSnapshot atomically persists the engine's full snapshot envelope:
+// written to a temp file in the target directory, then renamed, so a
+// crash mid-write can never leave a truncated envelope at path.
+func writeSnapshot(eng *repro.Engine, path string) error {
+	snap, err := eng.Snapshot()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatalf(format string, args ...any) {

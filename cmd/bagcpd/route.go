@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+// runRoute runs the cluster router until SIGINT/SIGTERM: a stateless
+// consistent-hash front tier over the -members fleet. Unlike -serve
+// there is no engine here — detector state lives only on the members —
+// so draining is just stopping the listener; a router restart loses
+// nothing but the in-memory migration overrides (re-migrate, or restart
+// members so the ring owns everything again, to converge). The bound
+// address is announced on stderr like -serve does.
+func runRoute(addr, members string, replicas int) error {
+	var list []string
+	for _, m := range strings.Split(members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			list = append(list, m)
+		}
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("-route requires -members (comma-separated member base URLs)")
+	}
+	rt, err := repro.NewRouter(repro.RouterConfig{Members: list, Replicas: replicas})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bagcpd: routing on http://%s for %d members\n", ln.Addr(), len(list))
+
+	httpSrv := &http.Server{Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "bagcpd: %v, draining router\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

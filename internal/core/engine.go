@@ -79,12 +79,27 @@ type EngineConfig struct {
 type Engine struct {
 	cfg EngineConfig
 
+	// mark is the engine-wide mutation counter behind delta snapshots:
+	// every push (and restore) stamps the touched stream with the next
+	// value, so "streams dirty since mark M" is an O(streams) scan with
+	// no per-push synchronization beyond one atomic add. The counter
+	// orders mutations, it does not count them — batches stamp once per
+	// stream group.
+	mark atomic.Uint64
+
 	mu       sync.Mutex
 	streams  map[string]*Stream
 	free     []*Detector // closed streams' detectors, warm and ready to recycle
 	closed   bool
 	inflight sync.WaitGroup // running PushBatch calls, drained by Shutdown
 }
+
+// Mark returns the engine's current mutation mark. A caller that takes a
+// full snapshot records the envelope's Mark and later asks
+// SnapshotDelta(mark) for just the streams that changed since. The
+// counter is monotonic for the life of the engine (restores stamp the
+// restored streams, so they are dirty relative to any earlier mark).
+func (e *Engine) Mark() uint64 { return e.mark.Load() }
 
 // NewEngine validates cfg and returns an Engine with no open streams.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
@@ -260,9 +275,14 @@ type Stream struct {
 	eng *Engine
 	id  string
 
-	mu  sync.Mutex
-	det *Detector
+	mu    sync.Mutex
+	det   *Detector
+	dirty uint64 // engine mark of the last mutation; 0 = never touched
 }
+
+// markDirtyLocked stamps the stream with the engine's next mutation
+// mark. Callers hold s.mu.
+func (s *Stream) markDirtyLocked() { s.dirty = s.eng.mark.Add(1) }
 
 // ID returns the stream identifier passed to Open.
 func (s *Stream) ID() string { return s.id }
@@ -275,6 +295,7 @@ func (s *Stream) Push(b bag.Bag) (*Point, error) {
 	if s.det == nil {
 		return nil, fmt.Errorf("core: stream %q is closed", s.id)
 	}
+	s.markDirtyLocked()
 	return s.det.Push(b)
 }
 
@@ -411,6 +432,7 @@ func (e *Engine) PushBatch(batch []StreamBag) ([]StreamResult, error) {
 			}
 			return
 		}
+		g.st.markDirtyLocked()
 		for _, i := range g.idxs {
 			if failed != nil {
 				results[i].Err = fmt.Errorf("core: stream %q: bag skipped after earlier error in batch: %w", g.st.id, failed)

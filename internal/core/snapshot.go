@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -212,7 +213,77 @@ type EngineSnapshot struct {
 	Alpha      float64          `json:"alpha"`
 	EMDLargeK  int              `json:"emd_large_k,omitempty"`
 	BuilderTag string           `json:"builder_tag,omitempty"`
-	Streams    []StreamSnapshot `json:"streams"`
+	// Mark is the engine's mutation counter at capture time. Feed it back
+	// to Engine.SnapshotDelta (or GET /v1/snapshot?since=mark) to get
+	// just the streams that changed after this envelope was cut.
+	Mark uint64 `json:"mark,omitempty"`
+	// Partial marks an envelope that carries a SUBSET of the source
+	// engine's streams (a delta snapshot, a migration extract, or a
+	// SplitByStream slice). Partial envelopes merge into a live engine
+	// via RestoreStreams; Restore refuses them, because treating a
+	// subset as the whole state would silently drop every other stream.
+	Partial bool             `json:"partial,omitempty"`
+	Streams []StreamSnapshot `json:"streams"`
+}
+
+// SplitByStream slices the envelope into one single-stream envelope per
+// stream, each carrying the full configuration fingerprint (and the
+// source Mark) so it can be validated and restored independently — the
+// unit of routing when a fleet rebalances streams one at a time. The
+// receiver is not modified; the per-stream envelopes share the
+// receiver's DetectorState values (treat them as read-only, like the
+// envelope itself).
+func (s *EngineSnapshot) SplitByStream() []EngineSnapshot {
+	out := make([]EngineSnapshot, len(s.Streams))
+	for i := range s.Streams {
+		env := *s
+		env.Partial = true
+		env.Streams = []StreamSnapshot{s.Streams[i]}
+		out[i] = env
+	}
+	return out
+}
+
+// ExtractStreams removes the named streams from the envelope and
+// returns them as a new partial envelope with the same fingerprint —
+// the donor half of a migration: what is extracted is no longer in the
+// source envelope, so the same stream state can never be restored in
+// two places from one envelope. Extraction errors (an id not present —
+// including one already extracted — or a duplicate in ids) leave the
+// receiver unchanged.
+func (s *EngineSnapshot) ExtractStreams(ids ...string) (*EngineSnapshot, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: ExtractStreams requires at least one stream id")
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if want[id] {
+			return nil, fmt.Errorf("core: ExtractStreams: duplicate stream id %q", id)
+		}
+		want[id] = true
+	}
+	out := *s
+	out.Partial = true
+	out.Streams = make([]StreamSnapshot, 0, len(ids))
+	kept := make([]StreamSnapshot, 0, len(s.Streams))
+	for _, ss := range s.Streams {
+		if want[ss.ID] {
+			out.Streams = append(out.Streams, ss)
+			delete(want, ss.ID)
+		} else {
+			kept = append(kept, ss)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("core: ExtractStreams: stream(s) not in envelope (unknown or already extracted): %s", strings.Join(missing, ", "))
+	}
+	s.Streams = kept
+	return &out, nil
 }
 
 // fingerprint returns the envelope carrying cfg's restore-validated
@@ -267,12 +338,59 @@ func (e *Engine) ValidateSnapshot(snap *EngineSnapshot) error {
 // violated contract corrupts nothing, though it would make WHICH state
 // got captured a race).
 func (e *Engine) Snapshot() (*EngineSnapshot, error) {
+	return e.snapshotWhere(nil, false)
+}
+
+// SnapshotStreams serializes just the named streams as a partial
+// envelope — the capture half of a live migration. Every id must be an
+// open stream (unknown ids error before anything is captured); the
+// streams stay open on this engine, so the caller that is moving them
+// closes them once the envelope is safely shipped.
+func (e *Engine) SnapshotStreams(ids ...string) (*EngineSnapshot, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: SnapshotStreams requires at least one stream id")
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if want[id] {
+			return nil, fmt.Errorf("core: SnapshotStreams: duplicate stream id %q", id)
+		}
+		want[id] = true
+	}
+	e.mu.Lock()
+	for id := range want {
+		if _, ok := e.streams[id]; !ok {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: SnapshotStreams: stream %q is not open", id)
+		}
+	}
+	e.mu.Unlock()
+	return e.snapshotWhere(func(id string, _ uint64) bool { return want[id] }, true)
+}
+
+// SnapshotDelta serializes only the streams mutated after mark (a value
+// previously returned in an envelope's Mark field or from Engine.Mark).
+// The envelope is Partial — restoring it merges the dirty streams into
+// (or refreshes them on) a receiver that already holds the rest — and
+// its own Mark is the new high-water value for the next delta. The cost
+// scales with the number of dirty streams, not the fleet's total stream
+// count; stream CLOSURES are not recorded (a stream evicted since mark
+// is simply absent), so receivers reconcile stream death out of band.
+func (e *Engine) SnapshotDelta(mark uint64) (*EngineSnapshot, error) {
+	return e.snapshotWhere(func(_ string, dirty uint64) bool { return dirty > mark }, true)
+}
+
+// snapshotWhere captures the streams keep admits (nil keeps all) into an
+// envelope. The engine must be quiesced by the caller, as with Snapshot.
+func (e *Engine) snapshotWhere(keep func(id string, dirty uint64) bool, partial bool) (*EngineSnapshot, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, fmt.Errorf("core: engine is shut down")
 	}
 	snap := e.fingerprint()
+	snap.Mark = e.mark.Load()
+	snap.Partial = partial
 	ids := make([]string, 0, len(e.streams))
 	for id := range e.streams {
 		ids = append(ids, id)
@@ -284,7 +402,7 @@ func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 		det := st.det
 		var ds *DetectorState
 		var err error
-		if det != nil {
+		if det != nil && (keep == nil || keep(id, st.dirty)) {
 			ds, err = det.Snapshot()
 		}
 		st.mu.Unlock()
@@ -322,6 +440,9 @@ func (e *Engine) Restore(snap *EngineSnapshot) error {
 	if err := e.ValidateSnapshot(snap); err != nil {
 		return err
 	}
+	if snap.Partial {
+		return fmt.Errorf("core: envelope is partial (a delta or extracted slice); Restore replaces ALL state — use RestoreStreams to merge it")
+	}
 	if n := e.Len(); n != 0 {
 		return fmt.Errorf("core: restore requires an engine with no open streams, have %d (CloseAll first)", n)
 	}
@@ -333,13 +454,78 @@ func (e *Engine) Restore(snap *EngineSnapshot) error {
 		}
 		streams[i] = st
 	}
-	// Detector rewinds are independent per stream and dominated by RNG
-	// replay, so fan them across the worker budget.
+	errs := e.rewindStreams(streams, snap.Streams)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: restore stream %q: %w", snap.Streams[i].ID, err)
+		}
+	}
+	return nil
+}
+
+// RestoreStreams merges the envelope's streams into this engine — the
+// receiving half of a live migration, and the apply half of a delta
+// snapshot. The fingerprint must match exactly as for Restore, but the
+// engine keeps its other open streams; each restored stream must NOT
+// already be open here (a migration that raced a duplicate delivery
+// fails loudly instead of silently rewinding a live stream). On any
+// error the streams this call opened are closed again, so a refused
+// merge leaves the engine exactly as it was. Quiescence contract is
+// Restore's: no pushes in flight.
+func (e *Engine) RestoreStreams(snap *EngineSnapshot) error {
+	if err := e.ValidateSnapshot(snap); err != nil {
+		return err
+	}
+	if len(snap.Streams) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(snap.Streams))
+	for i := range snap.Streams {
+		id := snap.Streams[i].ID
+		if seen[id] {
+			return fmt.Errorf("core: RestoreStreams: envelope names stream %q twice", id)
+		}
+		seen[id] = true
+		if _, open := e.Get(id); open {
+			return fmt.Errorf("core: RestoreStreams: stream %q is already open on this engine", id)
+		}
+	}
+	streams := make([]*Stream, len(snap.Streams))
+	rollback := func(n int) {
+		for i := 0; i < n; i++ {
+			streams[i].Close()
+		}
+	}
+	for i := range snap.Streams {
+		st, err := e.Open(snap.Streams[i].ID)
+		if err != nil {
+			rollback(i)
+			return fmt.Errorf("core: restore stream %q: %w", snap.Streams[i].ID, err)
+		}
+		streams[i] = st
+	}
+	errs := e.rewindStreams(streams, snap.Streams)
+	for i, err := range errs {
+		if err != nil {
+			rollback(len(streams))
+			return fmt.Errorf("core: restore stream %q: %w", snap.Streams[i].ID, err)
+		}
+	}
+	return nil
+}
+
+// rewindStreams rewinds each stream's detector to its snapshot state.
+// Detector rewinds are independent per stream and dominated by RNG
+// replay, so they fan across the worker budget. Restored streams are
+// stamped dirty: relative to any mark taken before the restore, their
+// state IS new on this engine.
+func (e *Engine) rewindStreams(streams []*Stream, snaps []StreamSnapshot) []error {
 	errs := make([]error, len(streams))
 	restore := func(i int) {
 		st := streams[i]
 		st.mu.Lock()
-		errs[i] = st.det.RestoreSnapshot(&snap.Streams[i].Detector)
+		st.markDirtyLocked()
+		errs[i] = st.det.RestoreSnapshot(&snaps[i].Detector)
 		st.mu.Unlock()
 	}
 	workers := e.cfg.Workers
@@ -368,10 +554,5 @@ func (e *Engine) Restore(snap *EngineSnapshot) error {
 		}
 		wg.Wait()
 	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("core: restore stream %q: %w", snap.Streams[i].ID, err)
-		}
-	}
-	return nil
+	return errs
 }

@@ -1,0 +1,127 @@
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// routerMetrics are the router's own counters. Fleet-level member
+// counters are not mirrored here — the scrape aggregates them live from
+// the members (see handleMetrics), so the router stays stateless about
+// member internals.
+type routerMetrics struct {
+	pushBatches     atomic.Uint64 // client push batches accepted
+	pushRows        atomic.Uint64 // rows routed
+	forwarded       atomic.Uint64 // per-member sub-batches forwarded
+	rejected        atomic.Uint64 // batches answered 429 (some member busy)
+	memberErrors    atomic.Uint64 // failed member requests (any endpoint)
+	migrations      atomic.Uint64 // streams migrated successfully
+	migrateFailures atomic.Uint64 // migration groups that failed/rolled back
+}
+
+// handleMetrics renders the router's own counters, a per-member
+// liveness gauge, and the member fleet's unlabeled counters summed
+// across every reachable member — one scrape sees the whole cluster.
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	type memberScrape struct {
+		member  string
+		samples map[string]float64
+		err     error
+	}
+	scrapes := make([]memberScrape, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			scrapes[i].member = m
+			scrapes[i].samples, scrapes[i].err = r.scrapeMember(m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	m := &r.met
+	counter("bagcpd_router_push_batches_total", "Client push batches accepted by the router.", m.pushBatches.Load())
+	counter("bagcpd_router_push_rows_total", "Push rows routed to members.", m.pushRows.Load())
+	counter("bagcpd_router_forwarded_batches_total", "Per-member sub-batches forwarded.", m.forwarded.Load())
+	counter("bagcpd_router_rejected_total", "Push batches answered 429 because a member was busy.", m.rejected.Load())
+	counter("bagcpd_router_member_errors_total", "Failed member requests.", m.memberErrors.Load())
+	counter("bagcpd_router_migrations_total", "Streams migrated between members.", m.migrations.Load())
+	counter("bagcpd_router_migration_failures_total", "Migration groups that failed and were rolled back.", m.migrateFailures.Load())
+
+	fmt.Fprint(w, "# HELP bagcpd_router_member_up Whether the member answered the last metrics scrape.\n")
+	fmt.Fprint(w, "# TYPE bagcpd_router_member_up gauge\n")
+	up := 0
+	for _, sc := range scrapes {
+		v := 0
+		if sc.err == nil {
+			v = 1
+			up++
+		} else {
+			r.met.memberErrors.Add(1)
+		}
+		fmt.Fprintf(w, "bagcpd_router_member_up{member=%q} %d\n", sc.member, v)
+	}
+
+	// Sum the members' unlabeled samples by name. Labeled samples (the
+	// latency summary quantiles) don't sum meaningfully and are skipped.
+	agg := make(map[string]float64)
+	for _, sc := range scrapes {
+		for name, v := range sc.samples {
+			agg[name] += v
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# Member metrics summed across %d/%d reachable members.\n", up, len(scrapes))
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(agg[name], 'g', -1, 64))
+	}
+}
+
+// scrapeMember fetches one member's /metrics and returns its unlabeled
+// samples by name.
+func (r *Router) scrapeMember(m string) (map[string]float64, error) {
+	resp, err := r.client.Get(m + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue // labeled sample: not summable across members
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		samples[name] = v
+	}
+	return samples, sc.Err()
+}

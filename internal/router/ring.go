@@ -1,0 +1,92 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over a static member list. Each member
+// is hashed onto the ring at `replicas` virtual points; a stream id is
+// owned by the member whose first virtual point follows the id's hash
+// clockwise. Consistency is the point: adding or removing one member
+// moves only the streams in the arcs it gains or loses (~1/n of them),
+// instead of reshuffling the whole id space the way `hash(id) % n`
+// would — and because the layout is a pure function of (members,
+// replicas), every router replica and every operator tool agrees on
+// ownership with no coordination.
+type ring struct {
+	points []ringPoint // sorted by (hash, member)
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// defaultReplicas is the virtual-node count per member. 128 keeps the
+// max/min member-load spread around ~1.2x for realistic fleet sizes
+// while the ring stays small enough that building it is trivial.
+const defaultReplicas = 128
+
+func newRing(members []string, replicas int) (*ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("router: at least one member is required")
+	}
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	r := &ring{points: make([]ringPoint, 0, len(members)*replicas)}
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("router: empty member address")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("router: duplicate member %q", m)
+		}
+		seen[m] = true
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	// The member tiebreak on equal hashes keeps the layout deterministic
+	// even in the (astronomically unlikely) event of a vnode collision.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// owner returns the member that owns stream id by the ring alone —
+// migration overrides live in the Router, not here.
+func (r *ring) owner(id string) string {
+	h := hash64(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point clockwise from the top of the ring
+	}
+	return r.points[i].member
+}
+
+// hash64 is FNV-1a 64 with a murmur-style avalanche finalizer. The
+// finalizer is not decoration: member addresses differ in a digit or two
+// ("http://10.0.0.3:8080" vs "...0.4:8080"), and raw FNV's weak
+// avalanche leaves their vnode hashes correlated — measured on a 4-member
+// fleet it gave one member a 0.1x/2x load share. The finalizer restores
+// full bit diffusion and the spread tightens to ~1.1x.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

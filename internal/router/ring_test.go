@@ -1,0 +1,107 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministicAndValid: ownership is a pure function of
+// (members, replicas) — two independently built rings agree on every id
+// — and every owner is a real member.
+func TestRingDeterministicAndValid(t *testing.T) {
+	members := ringMembers(5)
+	a, err := newRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[string]bool)
+	for _, m := range members {
+		valid[m] = true
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("stream-%d", i)
+		own := a.owner(id)
+		if own != b.owner(id) {
+			t.Fatalf("id %s: rings disagree (%s vs %s)", id, own, b.owner(id))
+		}
+		if !valid[own] {
+			t.Fatalf("id %s: owner %q is not a member", id, own)
+		}
+	}
+}
+
+// TestRingBalance: with the default replica count no member owns a
+// wildly disproportionate share of a large id population.
+func TestRingBalance(t *testing.T) {
+	members := ringMembers(4)
+	r, err := newRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("stream-%d", i))]++
+	}
+	fair := n / len(members)
+	for _, m := range members {
+		if c := counts[m]; c < fair/3 || c > fair*3 {
+			t.Fatalf("member %s owns %d of %d ids (fair share %d): ring badly unbalanced\n%v", m, c, n, fair, counts)
+		}
+	}
+}
+
+// TestRingConsistency: removing one member only moves the ids that
+// member owned; everything else keeps its owner. This is the property
+// that makes the ring worth having over hash(id) %% n.
+func TestRingConsistency(t *testing.T) {
+	members := ringMembers(5)
+	full, err := newRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := newRing(members[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[4]
+	moved := 0
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("stream-%d", i)
+		before, after := full.owner(id), smaller.owner(id)
+		if before == removed {
+			moved++
+			continue // had to move somewhere
+		}
+		if before != after {
+			t.Fatalf("id %s moved %s -> %s though %s was the member removed", id, before, after, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no ids out of 5000: suspicious ring")
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := newRing(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := newRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := newRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member address accepted")
+	}
+}

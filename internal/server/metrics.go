@@ -24,10 +24,12 @@ type metrics struct {
 	points    atomic.Uint64 // inspection points produced
 	rowErrors atomic.Uint64 // per-row push errors
 	rejected  atomic.Uint64 // batches refused with 429
-	evictions atomic.Uint64 // idle streams evicted
-	snapshots atomic.Uint64 // snapshots served
-	restores  atomic.Uint64 // restores applied
-	inflight  atomic.Int64  // push batches currently executing
+	evictions   atomic.Uint64 // idle streams evicted
+	snapshots   atomic.Uint64 // snapshots served (full and delta)
+	restores    atomic.Uint64 // restores applied
+	extractions atomic.Uint64 // streams extracted for migration
+	adoptions   atomic.Uint64 // streams adopted from migration envelopes
+	inflight    atomic.Int64  // push batches currently executing
 
 	mu         sync.Mutex
 	latencies  [latencyWindow]float64 // seconds, ring buffer
@@ -91,6 +93,8 @@ func (m *metrics) render(w io.Writer, open, pooled int) {
 	counter("bagcpd_evictions_total", "Idle streams evicted.", m.evictions.Load())
 	counter("bagcpd_snapshots_total", "Engine snapshots served.", m.snapshots.Load())
 	counter("bagcpd_restores_total", "Engine restores applied.", m.restores.Load())
+	counter("bagcpd_streams_extracted_total", "Streams extracted into migration envelopes.", m.extractions.Load())
+	counter("bagcpd_streams_adopted_total", "Streams adopted from migration envelopes.", m.adoptions.Load())
 
 	// EMD cost-amortization totals, sampled from the solver package at
 	// scrape time (every detector solve publishes into them). The hit:eval

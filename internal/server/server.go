@@ -15,9 +15,17 @@
 //	POST /v1/streams/{id}/close  close one stream (its detector recycles into
 //	                             the engine pool; a later push restarts the
 //	                             stream from scratch).
+//	POST /v1/streams/extract     serialize the named streams into a partial
+//	                             envelope AND close them here — the donor half
+//	                             of a live migration.
+//	POST /v1/streams/adopt       merge a partial envelope's streams into the
+//	                             live engine — the receiving half of a live
+//	                             migration. 409 if any stream is already open.
 //	GET  /v1/snapshot            the full engine state as a versioned JSON
 //	                             envelope (core.EngineSnapshot). Pushes are
-//	                             paused while the snapshot is taken.
+//	                             paused while the snapshot is taken. With
+//	                             ?since=M, a delta: only streams mutated after
+//	                             mark M (see the envelope's "mark" field).
 //	POST /v1/restore             replace all engine state with an envelope
 //	                             previously served by /v1/snapshot — restored
 //	                             streams are bit-identical going forward to
@@ -43,6 +51,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -155,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/push", s.handlePush)
 	s.mux.HandleFunc("GET /v1/streams", s.handleStreams)
 	s.mux.HandleFunc("POST /v1/streams/{id}/close", s.handleCloseStream)
+	s.mux.HandleFunc("POST /v1/streams/extract", s.handleExtract)
+	s.mux.HandleFunc("POST /v1/streams/adopt", s.handleAdopt)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -439,12 +450,32 @@ func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"closed": id})
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// ?since=M cuts a DELTA: only the streams mutated after mark M (a
+	// value served in an earlier envelope's "mark" field), as a partial
+	// envelope whose own mark is the next high-water value. Cost scales
+	// with the dirty-stream count, not the fleet size.
+	var since uint64
+	var delta bool
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since mark %q: %v", raw, err), http.StatusBadRequest)
+			return
+		}
+		since, delta = v, true
+	}
 	// Exclusive: waits for in-flight pushes, holds new ones. The engine
 	// is fully quiescent for the duration, so the captured state is a
 	// consistent cut across every stream.
 	s.state.Lock()
-	snap, err := s.eng.Snapshot()
+	var snap *core.EngineSnapshot
+	var err error
+	if delta {
+		snap, err = s.eng.SnapshotDelta(since)
+	} else {
+		snap, err = s.eng.Snapshot()
+	}
 	s.state.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -452,6 +483,76 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.met.snapshots.Add(1)
 	writeJSON(w, snap)
+}
+
+// extractRequest is the body of POST /v1/streams/extract.
+type extractRequest struct {
+	Streams []string `json:"streams"`
+}
+
+// handleExtract is the donor half of a live stream migration: under the
+// exclusive phase lock (pushes quiesced), the named streams are
+// serialized into a partial envelope, CLOSED on this instance, and the
+// envelope is returned. From the moment the response is written this
+// instance no longer owns the streams — the caller (the router) ships
+// the envelope to the target's /v1/streams/adopt and flips routing.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decoding extract request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Streams) == 0 {
+		http.Error(w, "extract request names no streams", http.StatusBadRequest)
+		return
+	}
+	s.state.Lock()
+	defer s.state.Unlock()
+	snap, err := s.eng.SnapshotStreams(req.Streams...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	// Capture succeeded for every named stream; now drop them here. The
+	// detectors recycle into the pool and the bookkeeping is forgotten so
+	// a later life of the id starts from scratch.
+	for _, id := range req.Streams {
+		if st, ok := s.eng.Get(id); ok {
+			st.Close()
+			s.forget(id)
+		}
+	}
+	s.met.extractions.Add(uint64(len(req.Streams)))
+	writeJSON(w, snap)
+}
+
+// handleAdopt is the receiving half of a migration (and of a delta
+// refresh): the posted envelope's streams are merged into the live
+// engine without touching its other streams. A stream already open here
+// answers 409 — the engine state is left exactly as it was, so a
+// botched migration never rewinds a live stream.
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var snap core.EngineSnapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		http.Error(w, fmt.Sprintf("decoding snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.state.Lock()
+	defer s.state.Unlock()
+	if err := s.eng.RestoreStreams(&snap); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	for i := range snap.Streams {
+		ss := &snap.Streams[i]
+		s.ticks[ss.ID] = ss.Detector.Count
+		s.lastPush[ss.ID] = now
+	}
+	s.mu.Unlock()
+	s.met.adoptions.Add(uint64(len(snap.Streams)))
+	writeJSON(w, map[string]any{"adopted": len(snap.Streams)})
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {

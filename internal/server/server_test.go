@@ -571,6 +571,8 @@ func TestMetricsExposition(t *testing.T) {
 	for step := 0; step < 7; step++ {
 		doPush(t, ts, pushBody(step, "m"))
 	}
+	// One extract/adopt round trip so the migration counters move.
+	adoptEnvelope(t, ts, extractStreams(t, ts, "m"))
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -587,6 +589,8 @@ func TestMetricsExposition(t *testing.T) {
 		"bagcpd_push_batch_seconds_count 7",
 		"bagcpd_detector_pool_free 0",
 		"bagcpd_inflight_batches 0",
+		"bagcpd_streams_extracted_total 1",
+		"bagcpd_streams_adopted_total 1",
 		// EMD cost-amortization totals sampled from the solver package.
 		// Values are process-wide (other tests solve EMDs too), so assert
 		// only that the families are exposed.
@@ -597,5 +601,193 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// extractStreams POSTs /v1/streams/extract and returns the raw envelope.
+func extractStreams(t *testing.T, ts *httptest.Server, ids ...string) []byte {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"streams": ids})
+	resp, err := http.Post(ts.URL+"/v1/streams/extract", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract status %d: %s", resp.StatusCode, blob)
+	}
+	return blob
+}
+
+// adoptEnvelope POSTs an envelope to /v1/streams/adopt and returns the
+// response status.
+func adoptEnvelope(t *testing.T, ts *httptest.Server, envelope []byte) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/streams/adopt", "application/json", strings.NewReader(string(envelope)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// TestExtractAdoptHTTP: the migration hand-off over the wire — streams
+// extracted from a donor keep scoring bit-identically after adoption on
+// a receiver that already serves its own traffic.
+func TestExtractAdoptHTTP(t *testing.T) {
+	moving := []string{"x", "y"}
+	staying := "z"
+	const steps, cut = 14, 7
+
+	// Uninterrupted reference for every stream involved.
+	_, refTS := newTestServer(t, nil)
+	want := make(map[string][]resultRow)
+	for step := 0; step < steps; step++ {
+		for _, id := range append(append([]string{}, moving...), staying, "resident") {
+			rows := doPush(t, refTS, pushBody(step, id))
+			want[id] = append(want[id], rows[0])
+		}
+	}
+
+	_, donor := newTestServer(t, nil)
+	_, receiver := newTestServer(t, nil)
+	for step := 0; step < cut; step++ {
+		doPush(t, donor, pushBody(step, append([]string{staying}, moving...)...))
+		doPush(t, receiver, pushBody(step, "resident"))
+	}
+
+	envelope := extractStreams(t, donor, moving...)
+	var snap core.EngineSnapshot
+	if err := json.Unmarshal(envelope, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Partial || len(snap.Streams) != len(moving) {
+		t.Fatalf("extract envelope: partial=%t streams=%d, want partial with %d streams", snap.Partial, len(snap.Streams), len(moving))
+	}
+
+	// The donor no longer knows the streams: listed gone, re-extract 404.
+	for _, info := range listStreams(t, donor) {
+		if info.ID == moving[0] || info.ID == moving[1] {
+			t.Fatalf("donor still lists extracted stream %s", info.ID)
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"streams": moving})
+	resp, err := http.Post(donor.URL+"/v1/streams/extract", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-extract status %d, want 404", resp.StatusCode)
+	}
+
+	if got := adoptEnvelope(t, receiver, envelope); got != http.StatusOK {
+		t.Fatalf("adopt status %d", got)
+	}
+	// Duplicate delivery of the same envelope must refuse loudly rather
+	// than rewind the now-live streams.
+	if got := adoptEnvelope(t, receiver, envelope); got != http.StatusConflict {
+		t.Fatalf("duplicate adopt status %d, want 409", got)
+	}
+	// A differently-configured engine refuses the envelope outright.
+	_, alien := newTestServer(t, func(c *Config) {
+		eng, err := core.NewEngine(core.EngineConfig{
+			Template: core.Config{Tau: 4, TauPrime: 4, Bootstrap: bootstrap.Config{Replicates: 150}},
+			Factory:  signature.HistogramFactory(-6, 9, 24),
+			Seed:     42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Engine = eng
+	})
+	if got := adoptEnvelope(t, alien, envelope); got != http.StatusConflict {
+		t.Fatalf("mismatched-config adopt status %d, want 409", got)
+	}
+
+	// Traffic continues on both sides; every row matches the reference.
+	for step := cut; step < steps; step++ {
+		for _, id := range moving {
+			rows := doPush(t, receiver, pushBody(step, id))
+			g, _ := json.Marshal(rows[0])
+			w, _ := json.Marshal(want[id][step])
+			if string(g) != string(w) {
+				t.Fatalf("step %d stream %s after migration:\n got %s\nwant %s", step, id, g, w)
+			}
+		}
+		rows := doPush(t, receiver, pushBody(step, "resident"))
+		g, _ := json.Marshal(rows[0])
+		w, _ := json.Marshal(want["resident"][step])
+		if string(g) != string(w) {
+			t.Fatalf("step %d resident stream:\n got %s\nwant %s", step, g, w)
+		}
+		rows = doPush(t, donor, pushBody(step, staying))
+		g, _ = json.Marshal(rows[0])
+		w, _ = json.Marshal(want[staying][step])
+		if string(g) != string(w) {
+			t.Fatalf("step %d staying stream:\n got %s\nwant %s", step, g, w)
+		}
+	}
+}
+
+// TestSnapshotDeltaHTTP: ?since=M serves only the streams mutated after
+// mark M — the warm-standby refresh is O(dirty), not O(fleet).
+func TestSnapshotDeltaHTTP(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	all := []string{"d-0", "d-1", "d-2", "d-3", "d-4"}
+	doPush(t, ts, pushBody(0, all...))
+
+	getSnap := func(query string) *core.EngineSnapshot {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/snapshot" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("snapshot%s status %d: %s", query, resp.StatusCode, blob)
+		}
+		var snap core.EngineSnapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			t.Fatal(err)
+		}
+		return &snap
+	}
+
+	full := getSnap("")
+	if full.Partial || len(full.Streams) != len(all) {
+		t.Fatalf("full snapshot: partial=%t streams=%d", full.Partial, len(full.Streams))
+	}
+
+	dirty := []string{"d-1", "d-3"}
+	doPush(t, ts, pushBody(1, dirty...))
+	delta := getSnap(fmt.Sprintf("?since=%d", full.Mark))
+	if !delta.Partial || len(delta.Streams) != len(dirty) {
+		t.Fatalf("delta: partial=%t streams=%d, want partial with %d", delta.Partial, len(delta.Streams), len(dirty))
+	}
+	for i, id := range dirty {
+		if delta.Streams[i].ID != id {
+			t.Fatalf("delta stream %d = %s, want %s", i, delta.Streams[i].ID, id)
+		}
+	}
+
+	// Nothing mutated since the delta's own mark: the next delta is empty.
+	empty := getSnap(fmt.Sprintf("?since=%d", delta.Mark))
+	if len(empty.Streams) != 0 {
+		t.Fatalf("delta-of-quiet: %d streams, want 0", len(empty.Streams))
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/snapshot?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since mark status %d, want 400", resp.StatusCode)
 	}
 }

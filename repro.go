@@ -70,6 +70,7 @@ import (
 	"repro/internal/featsel"
 	"repro/internal/innovate"
 	"repro/internal/mds"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/signature"
 )
@@ -415,6 +416,27 @@ type ServerConfig = server.Config
 // janitor). The server assumes ownership of the engine: all pushes and
 // lifecycle changes must go through it.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// --- Cluster router ----------------------------------------------------------
+
+// Router is the cluster front tier over a fleet of Server instances: it
+// consistent-hashes stream ids over a static member list, forwards
+// NDJSON push batches to the owning members (preserving per-row result
+// order for the client), aggregates GET /v1/streams and GET /metrics
+// across the fleet, and live-migrates streams between members without
+// perturbing a single score (POST /v1/migrate). See internal/router for
+// the endpoint and wire-format documentation, and README.md's "Cluster
+// mode" section for the operational guide.
+type Router = router.Router
+
+// RouterConfig parameterizes NewRouter: the static Members list
+// (required), hash-ring Replicas per member, the HTTP Client used for
+// forwarding, and the MaxBatchBytes push-body bound.
+type RouterConfig = router.Config
+
+// NewRouter validates cfg and returns a ready router; mount it as an
+// http.Handler in front of the member fleet.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
 
 // Alarms extracts the inspection times with raised alarms.
 func Alarms(points []Point) []int { return core.Alarms(points) }
