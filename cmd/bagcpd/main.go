@@ -61,7 +61,7 @@ func main() {
 		format   = flag.String("format", "jsonl", "input format: jsonl|csv")
 		tau      = flag.Int("tau", 5, "reference window length τ")
 		tauPrime = flag.Int("tau-prime", 5, "test window length τ′")
-		score    = flag.String("score", "kl", "change-point score: kl|lr")
+		score    = flag.String("score", "kl", "change-point statistic: "+strings.Join(repro.StatisticNames(), "|"))
 		k        = flag.Int("k", 8, "k-means signature size (multi-dimensional bags)")
 		histLo   = flag.Float64("hist-lo", 0, "histogram lower bound (1-D bags; with -hist-bins > 0)")
 		histHi   = flag.Float64("hist-hi", 0, "histogram upper bound")
@@ -105,20 +105,16 @@ func main() {
 		factory = repro.KMeansFactory(*k)
 		builderTag = fmt.Sprintf("kmeans(k=%d)", *k)
 	}
-	scoreType := repro.ScoreKL
-	switch *score {
-	case "kl":
-	case "lr":
-		scoreType = repro.ScoreLR
-	default:
-		fatalf("unknown -score %q (want kl or lr)", *score)
+	statName, err := statisticFromFlag(*score)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	bootCfg := repro.BootstrapConfig{Replicates: *reps, Alpha: *alpha}
 
 	if *serve != "" {
 		eng, err := repro.NewEngine(
 			repro.WithTau(*tau), repro.WithTauPrime(*tauPrime),
-			repro.WithScore(scoreType),
+			repro.WithStatistic(statName),
 			repro.WithBuilderFactory(factory),
 			repro.WithBuilderTag(builderTag),
 			repro.WithBootstrap(bootCfg),
@@ -156,7 +152,7 @@ func main() {
 		}
 		eng, err := repro.NewEngine(
 			repro.WithTau(*tau), repro.WithTauPrime(*tauPrime),
-			repro.WithScore(scoreType),
+			repro.WithStatistic(statName),
 			repro.WithBuilderFactory(factory),
 			repro.WithBootstrap(bootCfg),
 			repro.WithSeed(*seed),
@@ -185,7 +181,7 @@ func main() {
 	det, err := repro.NewDetector(repro.Config{
 		Tau:       *tau,
 		TauPrime:  *tauPrime,
-		Score:     scoreType,
+		Statistic: statName,
 		Builder:   factory(*seed),
 		Bootstrap: bootCfg,
 		Seed:      *seed,
@@ -216,6 +212,17 @@ func main() {
 		out.Flush() // rows before the failing bag must survive os.Exit
 		fatalf("%v", pushErr)
 	}
+}
+
+// statisticFromFlag validates the -score flag value against the
+// statistic registry, so the set of accepted names (and the error
+// message listing them) tracks registered statistics instead of a
+// hardcoded kl|lr pair.
+func statisticFromFlag(name string) (string, error) {
+	if _, ok := repro.LookupStatistic(name); !ok {
+		return "", fmt.Errorf("unknown -score %q (want one of: %s)", name, strings.Join(repro.StatisticNames(), ", "))
+	}
+	return name, nil
 }
 
 func kappaString(kappa float64) string {

@@ -225,3 +225,27 @@ func TestReadJSONLStreamsMissingID(t *testing.T) {
 		t.Fatal("expected error for missing stream id")
 	}
 }
+
+func TestStatisticFromFlag(t *testing.T) {
+	// Every registered statistic is a valid -score value.
+	for _, name := range repro.StatisticNames() {
+		got, err := statisticFromFlag(name)
+		if err != nil || got != name {
+			t.Fatalf("statisticFromFlag(%q) = %q, %v", name, got, err)
+		}
+	}
+	// Unknown names are refused with the registry listed, so the error is
+	// self-updating as statistics are registered.
+	_, err := statisticFromFlag("mahalanobis")
+	if err == nil {
+		t.Fatal("unknown -score accepted")
+	}
+	for _, name := range repro.StatisticNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered statistic %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), `"mahalanobis"`) {
+		t.Fatalf("error %q does not echo the rejected name", err)
+	}
+}

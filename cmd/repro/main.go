@@ -10,6 +10,7 @@
 //	repro -exp engine          # multi-stream engine scale-out demo
 //	repro -exp pairwise        # tiled + sharded pairwise-EMD demo
 //	repro -exp solverscale     # classic vs block-pricing EMD solver study
+//	repro -exp distprofile     # offline distance-profile segmentation demo
 //
 // The pairwise experiment also exposes the multi-process sharding flow:
 // each shard process computes its tile subset of the corpus matrix and
@@ -43,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig6|table1|fig7|fig10|fig11|ablation|engine|pairwise|solverscale|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig6|table1|fig7|fig10|fig11|ablation|engine|pairwise|solverscale|distprofile|all")
 	seed := flag.Int64("seed", 1, "master RNG seed")
 	scale := flag.String("scale", "full", "workload scale: full|small")
 	shard := flag.String("shard", "", "with -exp pairwise: compute shard i/k of the corpus matrix and emit the partial as JSON")
@@ -169,9 +170,23 @@ func main() {
 			}
 			return r.Report, nil
 		},
+		"distprofile": func() (string, error) {
+			opts := experiments.DistProfileOptions{}
+			if small {
+				opts = experiments.DistProfileOptions{N: 80, PointsPerBag: 60, Replicates: 99}
+			}
+			r, err := experiments.DistProfileExperiment(*seed, opts)
+			if err != nil {
+				if r != nil {
+					fmt.Print(r.Report)
+				}
+				return "", err
+			}
+			return r.Report, nil
+		},
 	}
 
-	order := []string{"fig1", "fig6", "table1", "fig7", "fig10", "fig11", "ablation", "engine", "pairwise", "solverscale"}
+	order := []string{"fig1", "fig6", "table1", "fig7", "fig10", "fig11", "ablation", "engine", "pairwise", "solverscale", "distprofile"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

@@ -2,8 +2,10 @@
 // given an archive of bags — here, daily latency samples from a service
 // whose behaviour shifts through three regimes — compute the full
 // pairwise EMD matrix with the tiled engine, embed it with MDS to see
-// the regimes as clusters, and segment the corpus from the matrix's
-// nearest-regime structure.
+// the regimes as clusters, and segment the corpus with the
+// distance-profile detector (repro.DistProfile), which recovers every
+// regime boundary — with a permutation p-value each — from the matrix
+// alone.
 //
 // The same matrix is then recomputed as two shard partials and merged,
 // demonstrating the multi-process flow (each shard could run on its own
@@ -100,41 +102,18 @@ func main() {
 	fmt.Printf("MDS axis-1 centroids: regime1 %+6.2f   regime2 %+6.2f   regime3 %+6.2f\n",
 		meanX(0, changeA), meanX(changeA, changeB), meanX(changeB, days))
 
-	// Retrospective segmentation straight from the matrix: a day belongs
-	// with the regime whose days it is closest to on average.
-	boundaries := 0
-	prev := 0
-	for day := 1; day < days; day++ {
-		if regimeOf(m, day, changeA, changeB) != prev {
-			fmt.Printf("segment boundary near day %d\n", day)
-			prev = regimeOf(m, day, changeA, changeB)
-			boundaries++
-		}
+	// Retrospective segmentation straight from the matrix: the
+	// distance-profile detector recovers every regime boundary from the
+	// pairwise distances alone — no ground truth, no window lengths —
+	// and attaches a permutation p-value to each.
+	points, err := repro.DistProfile(m, repro.DistProfileConfig{Replicates: 99, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\n%d boundaries recovered (true changes at days %d and %d)\n", boundaries, changeA, changeB)
-}
-
-// regimeOf assigns a day to the regime block (0, 1, 2) with the smallest
-// mean EMD to the day — reading cluster structure directly off At(i, j).
-func regimeOf(m *repro.PairwiseMatrix, day, changeA, changeB int) int {
-	mean := func(lo, hi int) float64 {
-		sum, cnt := 0.0, 0
-		for d := lo; d < hi; d++ {
-			if d == day {
-				continue
-			}
-			sum += m.At(day, d)
-			cnt++
-		}
-		return sum / float64(cnt)
+	fmt.Println()
+	for _, p := range points {
+		fmt.Printf("segment boundary at day %d (scan stat %.4f, p=%.3f)\n", p.T, p.Stat, p.PValue)
 	}
-	m0, m1, m2 := mean(0, changeA), mean(changeA, changeB), mean(changeB, m.N())
-	switch {
-	case m0 <= m1 && m0 <= m2:
-		return 0
-	case m1 <= m2:
-		return 1
-	default:
-		return 2
-	}
+	fmt.Printf("\n%d boundaries recovered at days %v (true changes at days %d and %d)\n",
+		len(points), repro.ChangeTimes(points), changeA, changeB)
 }

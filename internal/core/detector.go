@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 
 	"repro/internal/bag"
 	"repro/internal/bootstrap"
@@ -27,14 +28,21 @@ import (
 )
 
 // ScoreType selects which change-point score the detector computes.
+//
+// It predates the named statistic registry (see Statistic) and is kept
+// as a bit-identical shim: Config.Score = ScoreKL/ScoreLR resolves to
+// the registered "kl"/"lr" statistic, and a detector configured either
+// way produces the same bits. New code should prefer Config.Statistic
+// (or repro.WithStatistic) with a registry name.
 type ScoreType int
 
 const (
 	// ScoreKL is the symmetrized-KL score (Eq. 17): conservative and
-	// robust, less sensitive to minor changes.
+	// robust, less sensitive to minor changes. Statistic name "kl".
 	ScoreKL ScoreType = iota
 	// ScoreLR is the log-likelihood-ratio score (Eq. 16): sensitive to
-	// small changes but noisier. Requires TauPrime >= 2.
+	// small changes but noisier. Requires TauPrime >= 2. Statistic
+	// name "lr".
 	ScoreLR
 )
 
@@ -47,6 +55,19 @@ func (s ScoreType) String() string {
 		return "LR"
 	default:
 		return fmt.Sprintf("ScoreType(%d)", int(s))
+	}
+}
+
+// statisticName returns the registry name the enum value resolves to,
+// or "" for values outside the enum.
+func (s ScoreType) statisticName() string {
+	switch s {
+	case ScoreKL:
+		return "kl"
+	case ScoreLR:
+		return "lr"
+	default:
+		return ""
 	}
 }
 
@@ -70,8 +91,17 @@ type Config struct {
 	// TauPrime is the test window length τ′ (number of bags from the
 	// inspection point onward). Required, >= 1 (>= 2 for ScoreLR).
 	TauPrime int
-	// Score selects the change-point score (default ScoreKL).
+	// Score selects the change-point score (default ScoreKL). It is the
+	// historical enum shim over the statistic registry; leave it zero
+	// and set Statistic to select a statistic by name instead. Setting
+	// both to disagreeing values is a validation error.
 	Score ScoreType
+	// Statistic selects the change-point score by registry name ("kl",
+	// "lr", "clr", or any name passed to RegisterStatistic). Empty means
+	// "derive from Score", preserving the pre-registry configuration
+	// surface bit-for-bit. The resolved NAME — see StatisticName — is
+	// what joins the engine snapshot fingerprint.
+	Statistic string
 	// Weighting selects the base weights (default WeightUniform, which
 	// is what the paper uses in all of §5).
 	Weighting Weighting
@@ -127,6 +157,34 @@ type Config struct {
 	Seed int64
 }
 
+// StatisticName resolves which registered statistic the config selects:
+// Statistic when set, otherwise the name the Score enum shims to. The
+// result is the stable identity that joins the engine snapshot
+// fingerprint; "" means the config is invalid (an out-of-enum Score).
+func (c Config) StatisticName() string {
+	if c.Statistic != "" {
+		return c.Statistic
+	}
+	return c.Score.statisticName()
+}
+
+// statistic resolves the config's Statistic/Score selection against the
+// registry, with the same error texts validateCommon promises.
+func (c Config) statistic() (Statistic, error) {
+	if c.Statistic != "" && c.Score != ScoreKL && c.Score.statisticName() != c.Statistic {
+		return nil, fmt.Errorf("core: Config sets both Statistic=%q and Score=%v; they disagree — set one", c.Statistic, c.Score)
+	}
+	name := c.StatisticName()
+	if name == "" {
+		return nil, fmt.Errorf("core: unknown score type %d", c.Score)
+	}
+	stat, ok := LookupStatistic(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown statistic %q (registered: %s)", name, strings.Join(StatisticNames(), ", "))
+	}
+	return stat, nil
+}
+
 // validateCommon checks every Config field except Builder. The Engine
 // validates its per-stream template with it at construction, before any
 // stream (and hence any factory-built Builder) exists.
@@ -137,13 +195,11 @@ func (c Config) validateCommon() error {
 	if c.TauPrime < 1 {
 		return fmt.Errorf("core: TauPrime must be >= 1, got %d", c.TauPrime)
 	}
-	if c.Score == ScoreLR && c.TauPrime < 2 {
-		return fmt.Errorf("core: ScoreLR requires TauPrime >= 2, got %d", c.TauPrime)
+	stat, err := c.statistic()
+	if err != nil {
+		return err
 	}
-	if c.Score != ScoreKL && c.Score != ScoreLR {
-		return fmt.Errorf("core: unknown score type %d", c.Score)
-	}
-	return nil
+	return stat.Validate(c)
 }
 
 func (c Config) validate() error {
@@ -186,7 +242,9 @@ type Detector struct {
 	solver  *emd.Solver          // reusable EMD workspace (zero-alloc warm path)
 	est     *bootstrap.Estimator // reusable bootstrap workspace
 	win     infoest.Window       // current inspection window, rebuilt per inspect
-	scoreFn bootstrap.ScoreFunc  // closure over win, built once
+	stat    Statistic            // resolved statistic (registry lookup at New)
+	prep    BagPreprocessor      // stat's bag transform, nil for most statistics
+	scoreFn bootstrap.ScoreFunc  // stat's closure over &win, built once
 	spare   []float64            // recycled log-distance row from the last slide
 	rowPool [][]float64          // rows salvaged by Reset, reused while refilling
 }
@@ -213,12 +271,12 @@ func New(cfg Config) (*Detector, error) {
 		// bootstrap worker count.
 		est: bootstrap.NewSeededEstimator(cfg.Seed),
 	}
-	d.scoreFn = func(gRef, gTest []float64) float64 {
-		if d.cfg.Score == ScoreLR {
-			return infoest.ScoreLR(d.win, gRef, gTest)
-		}
-		return infoest.ScoreKL(d.win, gRef, gTest)
-	}
+	// validate() already resolved the statistic; the second lookup here
+	// cannot fail. The closure binds &d.win, which interval() rebuilds in
+	// place before every inspection.
+	d.stat, _ = cfg.statistic()
+	d.prep, _ = d.stat.(BagPreprocessor)
+	d.scoreFn = d.stat.Bind(&d.win)
 	switch cfg.Weighting {
 	case WeightDiscounted:
 		d.gRef = infoest.DiscountedRefWeights(cfg.Tau)
@@ -245,6 +303,13 @@ func (d *Detector) Count() int { return d.count }
 // stream by τ′−1 steps, which is inherent to the method: the test window
 // must fill before time t can be judged). Before that it returns nil.
 func (d *Detector) Push(b bag.Bag) (*Point, error) {
+	if d.prep != nil {
+		var err error
+		b, err = d.prep.PreprocessBag(b)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocessing bag %d for statistic %q: %w", d.count, d.stat.Name(), err)
+		}
+	}
 	sig, err := d.cfg.Builder.Build(b)
 	if err != nil {
 		return nil, fmt.Errorf("core: building signature for bag %d: %w", d.count, err)

@@ -101,6 +101,12 @@ type Engine struct {
 // restored streams, so they are dirty relative to any earlier mark).
 func (e *Engine) Mark() uint64 { return e.mark.Load() }
 
+// StatisticName returns the registry name of the per-inspection
+// statistic every stream of this engine computes — the same identity
+// the snapshot fingerprint carries. Server front-ends surface it on
+// /metrics as the bagcpd_engine_info gauge.
+func (e *Engine) StatisticName() string { return e.cfg.Template.StatisticName() }
+
 // NewEngine validates cfg and returns an Engine with no open streams.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Factory == nil {

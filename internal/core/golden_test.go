@@ -34,7 +34,18 @@ var updateGolden = flag.Bool("update", false, "rewrite golden test fixtures inst
 // round-trip exactly and make the fixture diffable; Kappa is "NaN"
 // until the first comparable interval exists.
 
-const goldenTracePath = "testdata/golden_detector_trace.json"
+// goldenTraces enumerates one frozen fixture per statistic. Statistic
+// "" is the legacy KL fixture (predating the statistic layer — its
+// bytes must stay untouched, so its header carries no statistic field
+// and the run configures the detector exactly as the seed did).
+var goldenTraces = []struct {
+	name      string
+	path      string
+	statistic string
+}{
+	{name: "kl", path: "testdata/golden_detector_trace.json", statistic: ""},
+	{name: "lr", path: "testdata/golden_detector_trace_lr.json", statistic: "lr"},
+}
 
 type goldenPoint struct {
 	T     int    `json:"t"`
@@ -47,13 +58,16 @@ type goldenPoint struct {
 }
 
 type goldenTrace struct {
-	Description string        `json:"description"`
-	Seed        int64         `json:"seed"`
-	Bags        int           `json:"bags"`
-	Tau         int           `json:"tau"`
-	TauPrime    int           `json:"tau_prime"`
-	Replicates  int           `json:"replicates"`
-	Points      []goldenPoint `json:"points"`
+	Description string `json:"description"`
+	Seed        int64  `json:"seed"`
+	Bags        int    `json:"bags"`
+	Tau         int    `json:"tau"`
+	TauPrime    int    `json:"tau_prime"`
+	Replicates  int    `json:"replicates"`
+	// Statistic is the registry name the trace was run under; empty in
+	// the legacy KL fixture, which predates the statistic layer.
+	Statistic string        `json:"statistic,omitempty"`
+	Points    []goldenPoint `json:"points"`
 }
 
 func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
@@ -91,20 +105,26 @@ func goldenConfig() Config {
 	}
 }
 
-func runGoldenTrace(t *testing.T) goldenTrace {
+func runGoldenTrace(t *testing.T, statistic string) goldenTrace {
 	t.Helper()
 	cfg := goldenConfig()
+	cfg.Statistic = statistic
 	points, err := Run(cfg, goldenSequence())
 	if err != nil {
 		t.Fatalf("golden run: %v", err)
 	}
+	desc := "frozen detector run: 200 1-D Gaussian bags, mean shifts at t=60 and t=130; asserts bit-identical scores/intervals on every run (floats are exact hex; regenerate with -update)"
+	if statistic != "" {
+		desc = "frozen " + statistic + " detector run: 200 1-D Gaussian bags, mean shifts at t=60 and t=130; asserts bit-identical scores/intervals on every run (floats are exact hex; regenerate with -update)"
+	}
 	tr := goldenTrace{
-		Description: "frozen detector run: 200 1-D Gaussian bags, mean shifts at t=60 and t=130; asserts bit-identical scores/intervals on every run (floats are exact hex; regenerate with -update)",
+		Description: desc,
 		Seed:        cfg.Seed,
 		Bags:        200,
 		Tau:         cfg.Tau,
 		TauPrime:    cfg.TauPrime,
 		Replicates:  cfg.Bootstrap.Replicates,
+		Statistic:   statistic,
 	}
 	for _, p := range points {
 		tr.Points = append(tr.Points, goldenPoint{
@@ -121,24 +141,30 @@ func runGoldenTrace(t *testing.T) goldenTrace {
 }
 
 func TestGoldenDetectorTrace(t *testing.T) {
-	got := runGoldenTrace(t)
+	for _, tc := range goldenTraces {
+		t.Run(tc.name, func(t *testing.T) { checkGoldenTrace(t, tc.path, tc.statistic) })
+	}
+}
+
+func checkGoldenTrace(t *testing.T, path, statistic string) {
+	got := runGoldenTrace(t, statistic)
 
 	if *updateGolden {
 		blob, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenTracePath, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d points)", goldenTracePath, len(got.Points))
+		t.Logf("rewrote %s (%d points)", path, len(got.Points))
 		return
 	}
 
-	blob, err := os.ReadFile(goldenTracePath)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden fixture (run with -update to create it): %v", err)
 	}
@@ -147,7 +173,8 @@ func TestGoldenDetectorTrace(t *testing.T) {
 		t.Fatalf("corrupt golden fixture: %v", err)
 	}
 	if want.Seed != got.Seed || want.Bags != got.Bags || want.Tau != got.Tau ||
-		want.TauPrime != got.TauPrime || want.Replicates != got.Replicates {
+		want.TauPrime != got.TauPrime || want.Replicates != got.Replicates ||
+		want.Statistic != got.Statistic {
 		t.Fatalf("golden fixture header %+v does not describe this test's configuration; regenerate with -update", want)
 	}
 	if len(want.Points) != len(got.Points) {
@@ -190,25 +217,29 @@ func TestGoldenDetectorTrace(t *testing.T) {
 // trace keeps covering the full score→interval→κ→alarm pipeline (a
 // fixture of all-quiet points would pin bits but guard nothing).
 func TestGoldenTraceHasSignal(t *testing.T) {
-	got := runGoldenTrace(t)
-	alarmNear := func(c int) bool {
-		for _, p := range got.Points {
-			if p.Alarm && p.T >= c-3 && p.T <= c+8 {
-				return true
+	for _, tc := range goldenTraces {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runGoldenTrace(t, tc.statistic)
+			alarmNear := func(c int) bool {
+				for _, p := range got.Points {
+					if p.Alarm && p.T >= c-3 && p.T <= c+8 {
+						return true
+					}
+				}
+				return false
 			}
-		}
-		return false
-	}
-	if !alarmNear(60) || !alarmNear(130) {
-		t.Fatalf("golden run no longer alarms near both injected changes (t=60, t=130)")
-	}
-	nan := 0
-	for _, p := range got.Points {
-		if p.Kappa == "NaN" {
-			nan++
-		}
-	}
-	if nan == 0 || nan >= len(got.Points) {
-		t.Fatalf("expected a warm-up prefix of NaN κ points and a comparable suffix, got %d/%d NaN", nan, len(got.Points))
+			if !alarmNear(60) || !alarmNear(130) {
+				t.Fatalf("golden run no longer alarms near both injected changes (t=60, t=130)")
+			}
+			nan := 0
+			for _, p := range got.Points {
+				if p.Kappa == "NaN" {
+					nan++
+				}
+			}
+			if nan == 0 || nan >= len(got.Points) {
+				t.Fatalf("expected a warm-up prefix of NaN κ points and a comparable suffix, got %d/%d NaN", nan, len(got.Points))
+			}
+		})
 	}
 }

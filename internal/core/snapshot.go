@@ -55,7 +55,20 @@ import (
 // floats the ground returned, replayed through the identical comparison
 // sequence), so cache configuration cannot change any computed value
 // and snapshots may freely cross cache settings.
-const SnapshotVersion = 3
+//
+// v4 replaced the fingerprint's score field with the statistic NAME:
+// the detector's per-inspection score is now a registry of named
+// Statistic implementations (see statistic.go) of which the old
+// ScoreKL/ScoreLR enum values are two, so an int can no longer identify
+// which statistic produced the snapshotted intervals — a v4 reader
+// handed a v3 envelope would have to GUESS the mapping for any engine
+// carrying a registered custom statistic, and a wrong guess silently
+// scores the restored window with a different statistic. v3 envelopes
+// are refused outright (same doctrine as v1/v2): re-run or re-snapshot
+// with a v4 writer. The JSON key is "statistic" and the legacy "score"
+// key is gone, so a v3 envelope also cannot masquerade as v4 by version
+// edits alone without its fingerprint going visibly blank.
+const SnapshotVersion = 4
 
 // SignatureState is one window signature in serializable form.
 type SignatureState struct {
@@ -201,18 +214,22 @@ type StreamSnapshot struct {
 // state across processes (Go's JSON float encoding is shortest-exact, so
 // the envelope round-trips float64 values bit-for-bit).
 type EngineSnapshot struct {
-	Version    int              `json:"version"`
-	Seed       int64            `json:"seed"`
-	Tau        int              `json:"tau"`
-	TauPrime   int              `json:"tau_prime"`
-	Score      int              `json:"score"`
-	Weighting  int              `json:"weighting"`
-	RawMass    bool             `json:"raw_mass"`
-	LogFloor   float64          `json:"log_floor"`
-	Replicates int              `json:"replicates"`
-	Alpha      float64          `json:"alpha"`
-	EMDLargeK  int              `json:"emd_large_k,omitempty"`
-	BuilderTag string           `json:"builder_tag,omitempty"`
+	Version  int   `json:"version"`
+	Seed     int64 `json:"seed"`
+	Tau      int   `json:"tau"`
+	TauPrime int   `json:"tau_prime"`
+	// Statistic is the registry NAME of the per-inspection statistic
+	// ("kl", "lr", …) — since v4 the statistic's identity in the
+	// fingerprint, replacing the v3 "score" int. Both ends of a
+	// hand-off must have the named statistic registered.
+	Statistic  string  `json:"statistic"`
+	Weighting  int     `json:"weighting"`
+	RawMass    bool    `json:"raw_mass"`
+	LogFloor   float64 `json:"log_floor"`
+	Replicates int     `json:"replicates"`
+	Alpha      float64 `json:"alpha"`
+	EMDLargeK  int     `json:"emd_large_k,omitempty"`
+	BuilderTag string  `json:"builder_tag,omitempty"`
 	// Mark is the engine's mutation counter at capture time. Feed it back
 	// to Engine.SnapshotDelta (or GET /v1/snapshot?since=mark) to get
 	// just the streams that changed after this envelope was cut.
@@ -295,7 +312,7 @@ func (e *Engine) fingerprint() EngineSnapshot {
 		Seed:       e.cfg.Seed,
 		Tau:        t.Tau,
 		TauPrime:   t.TauPrime,
-		Score:      int(t.Score),
+		Statistic:  t.StatisticName(),
 		Weighting:  int(t.Weighting),
 		RawMass:    t.RawMass,
 		LogFloor:   t.LogFloor,
@@ -308,9 +325,9 @@ func (e *Engine) fingerprint() EngineSnapshot {
 
 // ValidateSnapshot checks that snap could be restored onto this engine —
 // the schema version is readable and the configuration fingerprint
-// (seed, τ, τ′, score, weighting, raw-mass, log-floor, replicates, α,
-// EMD large-path threshold, builder tag) matches — without touching any
-// state. A server front-end
+// (seed, τ, τ′, statistic name, weighting, raw-mass, log-floor,
+// replicates, α, EMD large-path threshold, builder tag) matches —
+// without touching any state. A server front-end
 // calls it BEFORE tearing down live streams, so a rejected envelope
 // leaves the receiving engine exactly as it was.
 func (e *Engine) ValidateSnapshot(snap *EngineSnapshot) error {
@@ -319,7 +336,7 @@ func (e *Engine) ValidateSnapshot(snap *EngineSnapshot) error {
 	}
 	want := e.fingerprint()
 	mismatch := snap.Seed != want.Seed || snap.Tau != want.Tau || snap.TauPrime != want.TauPrime ||
-		snap.Score != want.Score || snap.Weighting != want.Weighting || snap.RawMass != want.RawMass ||
+		snap.Statistic != want.Statistic || snap.Weighting != want.Weighting || snap.RawMass != want.RawMass ||
 		snap.LogFloor != want.LogFloor || snap.Replicates != want.Replicates || snap.Alpha != want.Alpha ||
 		snap.EMDLargeK != want.EMDLargeK || snap.BuilderTag != want.BuilderTag
 	if mismatch {

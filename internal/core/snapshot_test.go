@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/bag"
@@ -245,6 +246,47 @@ func TestEngineRestoreValidation(t *testing.T) {
 		bad.EMDLargeK = 64
 		if err := newTestEngine(t, factory, 1).Restore(&bad); err == nil {
 			t.Fatal("expected EMD large-threshold mismatch error")
+		}
+	})
+	t.Run("v3-envelope-refused", func(t *testing.T) {
+		// A v3 envelope — Version 3, integer "score" fingerprint field,
+		// no "statistic" — must be refused loudly by version, not limp
+		// through with a zero-valued statistic name.
+		blob, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &wire); err != nil {
+			t.Fatal(err)
+		}
+		wire["version"] = json.RawMessage("3")
+		delete(wire, "statistic")
+		wire["score"] = json.RawMessage("0")
+		legacy, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var old EngineSnapshot
+		if err := json.Unmarshal(legacy, &old); err != nil {
+			t.Fatal(err)
+		}
+		err = newTestEngine(t, factory, 1).Restore(&old)
+		if err == nil {
+			t.Fatal("v3 envelope accepted")
+		}
+		if want := "snapshot version 3, this engine reads version 4"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("v3 refusal error %q does not name the versions (%q)", err, want)
+		}
+	})
+	t.Run("statistic-mismatch", func(t *testing.T) {
+		// Same schema version, different statistic name: the fingerprint
+		// check must refuse (an lr score history is meaningless to a kl
+		// engine even though every other knob agrees).
+		bad := *snap
+		bad.Statistic = "lr"
+		if err := newTestEngine(t, factory, 1).Restore(&bad); err == nil {
+			t.Fatal("expected statistic-name mismatch error")
 		}
 	})
 	t.Run("open-streams", func(t *testing.T) {

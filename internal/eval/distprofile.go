@@ -1,0 +1,262 @@
+// Offline distance-profile multi-change-point detection, in the style of
+// Dubey & Zheng (arXiv 2311.16025): segmentation of a bag sequence from
+// nothing but its pairwise distance matrix.
+//
+// The streaming detector in internal/core judges one inspection point at
+// a time through a τ/τ′ window. Retrospective corpus analyses already
+// compute the full pairwise EMD matrix (core.Pairwise, the Fig. 6
+// heatmaps), and that matrix contains strictly more information than any
+// single window sweep: for every observation i, the multiset of its
+// distances to a candidate left segment and to a candidate right segment
+// — its distance PROFILE — has the same distribution on both sides
+// exactly when no change separates them. DistProfile turns that into a
+// multi-change-point detector:
+//
+//   - for a candidate split c of a segment, every observation i
+//     contributes a Cramér–von Mises-type discrepancy between the
+//     empirical CDFs of its distances into the left part and into the
+//     right part;
+//   - the scan statistic T(c) averages the discrepancies over all i,
+//     weighted by |L||R|/m² so near-degenerate splits don't win on
+//     variance, and the best split arg-max_c T(c) is the candidate
+//     change point;
+//   - significance comes from a permutation bootstrap: shuffling the
+//     segment's time order detaches distances from chronology while
+//     keeping the exact distance population, so the permuted maxima
+//     sample the null "no change" distribution of the scan maximum;
+//   - binary segmentation recurses into both halves while splits stay
+//     significant, yielding every change point in one pass over the
+//     matrix — no window lengths, no alarm threshold.
+//
+// Complexity: a scan over a segment of m observations presorts each
+// row's in-segment distances once (O(m² log m)) and then walks each
+// candidate split in O(m²), i.e. O(m³) per scan and O(m³ (1+R)) with R
+// permutation replicates. That is the intended regime: corpus-scale
+// n ≲ a few thousand, where the pairwise matrix itself (n² EMD solves)
+// already dominated.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// DistProfileConfig parameterizes DistProfile. The zero value is ready
+// to use.
+type DistProfileConfig struct {
+	// MinSegment is the smallest number of observations a segment may
+	// hold on either side of a split (and hence the closest a change
+	// point can sit to the horizon edges). Values below 2 are promoted
+	// to 2: a one-observation side has no distance distribution to
+	// compare.
+	MinSegment int
+	// Replicates is the number of permutation replicates behind each
+	// split's p-value (default 199). The resolution of attainable
+	// p-values is 1/(Replicates+1).
+	Replicates int
+	// Alpha is the significance level recursion stops at (default 0.05):
+	// a split is accepted, and its halves scanned in turn, while
+	// PValue <= Alpha.
+	Alpha float64
+	// Seed drives the permutation RNG (and nothing else). Fixed seed,
+	// fixed matrix → bit-identical output.
+	Seed int64
+	// MaxChanges caps how many change points are returned, 0 = no cap.
+	// The cap binds the binary-segmentation recursion, so the points
+	// found under a cap are the strongest splits in scan order.
+	MaxChanges int
+}
+
+func (c DistProfileConfig) withDefaults() DistProfileConfig {
+	if c.MinSegment < 2 {
+		c.MinSegment = 2
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 199
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.05
+	}
+	return c
+}
+
+// ChangePoint is one detected change, reported as the half-open
+// boundary: observations [SegStart, T) precede the change, [T, SegEnd)
+// follow it (SegStart/SegEnd delimit the segment the split was found
+// in, so nested changes report their local context).
+type ChangePoint struct {
+	// T is the change point: the index of the first observation of the
+	// new regime.
+	T int
+	// Stat is the scan statistic at the split — comparable across
+	// change points, larger is stronger, and the ranking key of
+	// DistProfile's result.
+	Stat float64
+	// PValue is the permutation p-value of the split within its
+	// segment, never below 1/(Replicates+1).
+	PValue float64
+	// SegStart, SegEnd delimit the segment the split was scanned in.
+	SegStart, SegEnd int
+}
+
+// DistProfile detects every change point of the sequence behind the
+// pairwise distance matrix m, returned ranked by scan statistic
+// (strongest change first). The matrix rows/columns must be in time
+// order — it is the only input; the bags themselves are never touched.
+func DistProfile(m *core.PairwiseMatrix, cfg DistProfileConfig) ([]ChangePoint, error) {
+	if m == nil {
+		return nil, fmt.Errorf("eval: DistProfile requires a pairwise matrix")
+	}
+	cfg = cfg.withDefaults()
+	n := m.N()
+	if n < 2*cfg.MinSegment {
+		return nil, fmt.Errorf("eval: matrix has %d observations, need >= %d (2×MinSegment)", n, 2*cfg.MinSegment)
+	}
+	s := &dpScanner{m: m, cfg: cfg, rng: randx.New(cfg.Seed)}
+	var out []ChangePoint
+	s.segment(0, n, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stat != out[j].Stat {
+			return out[i].Stat > out[j].Stat
+		}
+		return out[i].T < out[j].T // deterministic order on exact ties
+	})
+	return out, nil
+}
+
+// ChangeTimes extracts the change times of points in ascending time
+// order — the boundary list Segments-style consumers want.
+func ChangeTimes(points []ChangePoint) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = p.T
+	}
+	sort.Ints(out)
+	return out
+}
+
+type dpScanner struct {
+	m     *core.PairwiseMatrix
+	cfg   DistProfileConfig
+	rng   *randx.RNG
+	found int
+}
+
+// segment scans [lo, hi), recursing into both halves of a significant
+// split. Recursion order is deterministic (left half first), so the
+// permutation RNG consumption — and with it the full output — is a
+// pure function of (matrix, config).
+func (s *dpScanner) segment(lo, hi int, out *[]ChangePoint) {
+	if s.cfg.MaxChanges > 0 && s.found >= s.cfg.MaxChanges {
+		return
+	}
+	if hi-lo < 2*s.cfg.MinSegment {
+		return
+	}
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	best, bestStat := s.scan(idx)
+	if best < 0 {
+		return
+	}
+	// Permutation null: shuffle the segment's time order and rescan. The
+	// observed max is included in its own null sample (the +1s), so the
+	// p-value is exact and never zero.
+	exceed := 0
+	perm := make([]int, len(idx))
+	copy(perm, idx)
+	for r := 0; r < s.cfg.Replicates; r++ {
+		s.rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if _, stat := s.scan(perm); stat >= bestStat {
+			exceed++
+		}
+	}
+	p := float64(exceed+1) / float64(s.cfg.Replicates+1)
+	if p > s.cfg.Alpha {
+		return
+	}
+	t := lo + best
+	*out = append(*out, ChangePoint{T: t, Stat: bestStat, PValue: p, SegStart: lo, SegEnd: hi})
+	s.found++
+	s.segment(lo, t, out)
+	s.segment(t, hi, out)
+}
+
+// scan returns the best split offset (in [MinSegment, m−MinSegment],
+// relative to idx) and its scan statistic over the segment whose
+// observations, in candidate time order, are idx. idx carries the
+// permutation: idx[k] is the matrix row playing time-position k.
+func (s *dpScanner) scan(idx []int) (best int, bestStat float64) {
+	m := len(idx)
+	// Presort each observation's in-segment distances ONCE, keeping for
+	// each distance the time position of its counterpart. A split then
+	// classifies every entry left/right by position in O(1), and the
+	// CvM discrepancy over the merged order falls out of one pass.
+	type distPos struct {
+		d   float64
+		pos int
+	}
+	rows := make([][]distPos, m)
+	for k, i := range idx {
+		row := make([]distPos, 0, m-1)
+		for l, j := range idx {
+			if l == k {
+				continue
+			}
+			row = append(row, distPos{d: s.m.At(i, j), pos: l})
+		}
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].d != row[b].d {
+				return row[a].d < row[b].d
+			}
+			return row[a].pos < row[b].pos // total order: permutation-invariant ties
+		})
+		rows[k] = row
+	}
+	best, bestStat = -1, math.Inf(-1)
+	for c := s.cfg.MinSegment; c <= m-s.cfg.MinSegment; c++ {
+		nL, nR := c, m-c
+		var total float64
+		for k := range rows {
+			// Observation k's own side loses one member (no self-distance).
+			cntL, cntR := nL, nR
+			if k < c {
+				cntL--
+			} else {
+				cntR--
+			}
+			if cntL == 0 || cntR == 0 {
+				continue
+			}
+			// Walk the merged sorted distances maintaining both empirical
+			// CDFs; the CvM-type discrepancy averages (F_L−F_R)² over the
+			// m−1 merge steps.
+			var seenL, seenR int
+			var sum float64
+			for _, e := range rows[k] {
+				if e.pos < c {
+					seenL++
+				} else {
+					seenR++
+				}
+				diff := float64(seenL)/float64(cntL) - float64(seenR)/float64(cntR)
+				sum += diff * diff
+			}
+			total += sum / float64(len(rows[k]))
+		}
+		// |L||R|/m² weighting: a CvM gap measured from a handful of
+		// observations on one side must out-discriminate, not out-vary,
+		// a balanced split.
+		stat := float64(nL) * float64(nR) / float64(m*m) * total / float64(m)
+		if stat > bestStat {
+			best, bestStat = c, stat
+		}
+	}
+	return best, bestStat
+}

@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/signature"
+)
+
+// dpMatrix builds the pairwise EMD matrix of a 1-D Gaussian sequence
+// whose mean walks through the given regimes, seg bags per regime.
+func dpMatrix(t *testing.T, means []float64, seg int) *core.PairwiseMatrix {
+	t.Helper()
+	rng := randx.New(1234)
+	var seq bag.Sequence
+	for r, mu := range means {
+		for k := 0; k < seg; k++ {
+			vals := make([]float64, 30)
+			for i := range vals {
+				vals[i] = rng.Normal(mu, 0.3)
+			}
+			seq = append(seq, bag.FromScalars(r*seg+k, vals))
+		}
+	}
+	m, err := core.Pairwise(seq,
+		core.WithPairBuilderFactory(signature.HistogramFactory(-3, 9, 24), 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDistProfileRecoversChanges(t *testing.T) {
+	// Three regimes (mean 0→3→1), 12 bags each: changes at t=12 and t=24.
+	m := dpMatrix(t, []float64{0, 3, 1}, 12)
+	points, err := DistProfile(m, DistProfileConfig{Replicates: 99, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := ChangeTimes(points)
+	if len(times) != 2 {
+		t.Fatalf("detected %d change points %v, want 2 near [12 24]", len(times), times)
+	}
+	for i, want := range []int{12, 24} {
+		if d := times[i] - want; d < -2 || d > 2 {
+			t.Fatalf("change %d detected at t=%d, want within ±2 of %d", i, times[i], want)
+		}
+	}
+	for _, p := range points {
+		if p.T < p.SegStart || p.T >= p.SegEnd {
+			t.Fatalf("change at t=%d outside its own segment [%d,%d)", p.T, p.SegStart, p.SegEnd)
+		}
+		if p.PValue > 0.05 || p.PValue < 1.0/100 {
+			t.Fatalf("p-value %v outside (1/(R+1), alpha]", p.PValue)
+		}
+		if math.IsNaN(p.Stat) || p.Stat <= 0 {
+			t.Fatalf("scan statistic %v not positive", p.Stat)
+		}
+	}
+	// Result is ranked by statistic, strongest first.
+	for i := 1; i < len(points); i++ {
+		if points[i-1].Stat < points[i].Stat {
+			t.Fatalf("points not ranked by Stat: %v", points)
+		}
+	}
+}
+
+func TestDistProfileNullFindsNothing(t *testing.T) {
+	// One regime, no change: the permutation test must refuse every split.
+	m := dpMatrix(t, []float64{0}, 30)
+	points, err := DistProfile(m, DistProfileConfig{Replicates: 99, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("null sequence yielded change points: %v", points)
+	}
+}
+
+func TestDistProfileDeterministic(t *testing.T) {
+	m := dpMatrix(t, []float64{0, 3}, 10)
+	cfg := DistProfileConfig{Replicates: 49, Seed: 7}
+	a, err := DistProfile(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistProfile(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same matrix, same config, different output:\n%v\n%v", a, b)
+	}
+}
+
+func TestDistProfileMaxChanges(t *testing.T) {
+	// Three well-separated regimes → two true changes; the cap keeps only
+	// the first split the recursion accepts.
+	m := dpMatrix(t, []float64{0, 3, 6}, 10)
+	points, err := DistProfile(m, DistProfileConfig{Replicates: 99, Seed: 3, MaxChanges: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("MaxChanges=1 returned %d points: %v", len(points), points)
+	}
+	uncapped, err := DistProfile(m, DistProfileConfig{Replicates: 99, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uncapped) <= 1 {
+		t.Fatalf("uncapped run found %d points, cap test is vacuous", len(uncapped))
+	}
+}
+
+func TestDistProfileErrors(t *testing.T) {
+	if _, err := DistProfile(nil, DistProfileConfig{}); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	small := dpMatrix(t, []float64{0}, 3)
+	if _, err := DistProfile(small, DistProfileConfig{}); err == nil {
+		t.Fatal("3-observation matrix accepted (needs >= 2×MinSegment)")
+	}
+	// MinSegment is honoured, not just the default minimum.
+	ten := dpMatrix(t, []float64{0}, 10)
+	if _, err := DistProfile(ten, DistProfileConfig{MinSegment: 6}); err == nil {
+		t.Fatal("10 observations accepted with MinSegment=6")
+	}
+}
+
+func TestChangeTimesSortsAscending(t *testing.T) {
+	points := []ChangePoint{{T: 24, Stat: 0.9}, {T: 12, Stat: 0.5}, {T: 40, Stat: 0.7}}
+	got := ChangeTimes(points)
+	want := []int{12, 24, 40}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ChangeTimes = %v, want %v", got, want)
+	}
+	if len(ChangeTimes(nil)) != 0 {
+		t.Fatal("ChangeTimes(nil) not empty")
+	}
+}

@@ -62,6 +62,61 @@ func TestSegmentsEmptyHorizon(t *testing.T) {
 	}
 }
 
+func TestSegmentsDuplicateAlarms(t *testing.T) {
+	// Repeated alarm times are one boundary, not several empty segments.
+	segs := Segments([]int{40, 40, 40, 40}, 100, 1)
+	want := []Segment{{0, 40}, {40, 100}}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments = %v, want %v", segs, want)
+		}
+	}
+}
+
+func TestSegmentsBurstAtHorizonBoundary(t *testing.T) {
+	// A burst running into the end of the horizon merges to its first
+	// alarm and still leaves a non-empty final segment.
+	segs := Segments([]int{97, 98, 99}, 100, 5)
+	want := []Segment{{0, 97}, {97, 100}}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments = %v, want %v", segs, want)
+		}
+	}
+	// An alarm exactly at the last step keeps the tail segment non-empty.
+	segs = Segments([]int{99}, 100, 5)
+	if len(segs) != 2 || segs[1] != (Segment{99, 100}) {
+		t.Fatalf("Segments = %v, want [{0 99} {99 100}]", segs)
+	}
+}
+
+func TestSegmentsNonPositiveHorizon(t *testing.T) {
+	if segs := Segments([]int{1, 2}, -3, 1); segs != nil {
+		t.Fatalf("Segments on negative horizon = %v, want nil", segs)
+	}
+}
+
+func TestSegmentsMinGapFloor(t *testing.T) {
+	// minGap < 1 is promoted to 1: distinct adjacent alarms are distinct
+	// boundaries, duplicates still merge.
+	segs := Segments([]int{10, 10, 11}, 20, 0)
+	want := []Segment{{0, 10}, {10, 11}, {11, 20}}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments = %v, want %v", segs, want)
+		}
+	}
+}
+
 func TestCoveringSegment(t *testing.T) {
 	segs := Segments([]int{50}, 100, 1)
 	s, ok := CoveringSegment(segs, 75)

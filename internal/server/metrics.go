@@ -19,11 +19,11 @@ const latencyWindow = 1024
 // sliding window of push-batch latencies for the scrape-time quantile
 // summary. All methods are safe for concurrent use.
 type metrics struct {
-	batches   atomic.Uint64 // push batches accepted
-	bags      atomic.Uint64 // bags ingested
-	points    atomic.Uint64 // inspection points produced
-	rowErrors atomic.Uint64 // per-row push errors
-	rejected  atomic.Uint64 // batches refused with 429
+	batches     atomic.Uint64 // push batches accepted
+	bags        atomic.Uint64 // bags ingested
+	points      atomic.Uint64 // inspection points produced
+	rowErrors   atomic.Uint64 // per-row push errors
+	rejected    atomic.Uint64 // batches refused with 429
 	evictions   atomic.Uint64 // idle streams evicted
 	snapshots   atomic.Uint64 // snapshots served (full and delta)
 	restores    atomic.Uint64 // restores applied
@@ -73,15 +73,20 @@ func (m *metrics) quantiles() (q50, q90, q99 float64, count uint64, sum float64)
 }
 
 // render writes the Prometheus text exposition. The gauges that describe
-// engine state (streams open, pool occupancy) are sampled by the caller
-// at scrape time and passed in.
-func (m *metrics) render(w io.Writer, open, pooled int) {
+// engine state (streams open, pool occupancy) and the engine's statistic
+// name are sampled by the caller at scrape time and passed in.
+func (m *metrics) render(w io.Writer, open, pooled int, statistic string) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	// Info-style gauge: the engine's per-inspection statistic as a label.
+	// The router's fleet aggregation sums only UNLABELED samples, so this
+	// passes through member scrapes without perturbing the fleet counters.
+	fmt.Fprint(w, "# HELP bagcpd_engine_info Engine configuration identity (constant 1; statistic is the registry name in the snapshot fingerprint).\n# TYPE bagcpd_engine_info gauge\n")
+	fmt.Fprintf(w, "bagcpd_engine_info{statistic=%q} 1\n", statistic)
 	gauge("bagcpd_streams_open", "Open detector streams.", int64(open))
 	gauge("bagcpd_detector_pool_free", "Warm detectors waiting in the recycle pool.", int64(pooled))
 	gauge("bagcpd_inflight_batches", "Push batches currently executing.", m.inflight.Load())

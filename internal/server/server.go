@@ -609,7 +609,7 @@ func (s *Server) resetBookkeeping(snap *core.EngineSnapshot) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	stats := s.eng.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, stats.Open, stats.PooledFree)
+	s.met.render(w, stats.Open, stats.PooledFree, s.eng.StatisticName())
 }
 
 // forget drops the per-stream bookkeeping of a closed stream: its next

@@ -581,6 +581,7 @@ func TestMetricsExposition(t *testing.T) {
 	resp.Body.Close()
 	text := string(body)
 	for _, want := range []string{
+		"bagcpd_engine_info{statistic=\"kl\"} 1",
 		"bagcpd_streams_open 1",
 		"bagcpd_push_batches_total 7",
 		"bagcpd_push_bags_total 7",

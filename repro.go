@@ -189,7 +189,9 @@ var (
 // Different total masses trigger the paper's partial matching (Eq. 7-12).
 func EMD(s, t Signature, g Ground) (float64, error) { return emd.Distance(s, t, g) }
 
-// ScoreType selects the change-point score.
+// ScoreType selects the change-point score. It is the historical enum
+// shim over the named statistic registry (see Statistic); new code
+// should select statistics by name with WithStatistic.
 type ScoreType = core.ScoreType
 
 // The two change-point scores of §3.3.
@@ -199,6 +201,31 @@ const (
 	// ScoreLR is the likelihood-ratio score (Eq. 16): sensitive, noisier.
 	ScoreLR = core.ScoreLR
 )
+
+// Statistic is a named per-inspection change-point score: it validates
+// configs and yields the bootstrap replicate closure for a detector
+// window. Built-ins are "kl" (Eq. 17), "lr" (Eq. 16) and "clr"
+// (centered-log-ratio compositional preprocessing over the KL score);
+// RegisterStatistic adds custom ones.
+type Statistic = core.Statistic
+
+// BagPreprocessor is the optional Statistic extension for statistics
+// that transform bags before signature construction (the "clr"
+// statistic implements it).
+type BagPreprocessor = core.BagPreprocessor
+
+// RegisterStatistic adds a custom statistic to the process-wide
+// registry under its Name(). The name then works everywhere a built-in
+// does — WithStatistic, Config.Statistic, the bagcpd -score flag — and
+// joins the engine snapshot fingerprint, so both ends of a snapshot
+// hand-off must register it.
+func RegisterStatistic(s Statistic) error { return core.RegisterStatistic(s) }
+
+// LookupStatistic returns the registered statistic for name.
+func LookupStatistic(name string) (Statistic, bool) { return core.LookupStatistic(name) }
+
+// StatisticNames returns every registered statistic name, sorted.
+func StatisticNames() []string { return core.StatisticNames() }
 
 // Weighting selects the base weights of the window signatures.
 type Weighting = core.Weighting
@@ -266,9 +293,19 @@ func WithTauPrime(tauPrime int) Option {
 	return Option{func(c *core.EngineConfig) { c.Template.TauPrime = tauPrime }}
 }
 
-// WithScore selects the change-point score (default ScoreKL).
+// WithScore selects the change-point score (default ScoreKL). It is the
+// historical enum shim: WithScore(ScoreKL) ≡ WithStatistic("kl") and
+// WithScore(ScoreLR) ≡ WithStatistic("lr"), bit-for-bit.
 func WithScore(s ScoreType) Option {
 	return Option{func(c *core.EngineConfig) { c.Template.Score = s }}
+}
+
+// WithStatistic selects the per-inspection change-point statistic by
+// registry name: "kl", "lr", "clr", or any name registered with
+// RegisterStatistic. The name joins the engine snapshot fingerprint, so
+// engines that disagree on it refuse each other's snapshots.
+func WithStatistic(name string) Option {
+	return Option{func(c *core.EngineConfig) { c.Template.Statistic = name }}
 }
 
 // WithWeighting selects the base weights of the window signatures
@@ -570,6 +607,30 @@ type Segment = eval.Segment
 func Segments(alarms []int, n, minGap int) []Segment {
 	return eval.Segments(alarms, n, minGap)
 }
+
+// DistProfileConfig parameterizes DistProfile; the zero value is ready
+// to use.
+type DistProfileConfig = eval.DistProfileConfig
+
+// ChangePoint is one change detected by DistProfile: the boundary time,
+// its scan statistic, its permutation p-value, and the segment it was
+// found in.
+type ChangePoint = eval.ChangePoint
+
+// DistProfile is the offline distance-profile multi-change-point
+// detector (Dubey & Zheng style): it segments a corpus from its pairwise
+// EMD matrix alone, returning every change point ranked by scan
+// statistic with a permutation-bootstrap p-value. The retrospective
+// complement to the streaming detector — no window lengths, no alarm
+// threshold, and all change points from one matrix (the same matrix the
+// Fig. 6 heatmap and MDS embedding consume).
+func DistProfile(m *PairwiseMatrix, cfg DistProfileConfig) ([]ChangePoint, error) {
+	return eval.DistProfile(m, cfg)
+}
+
+// ChangeTimes extracts the change times of DistProfile's result in
+// ascending time order.
+func ChangeTimes(points []ChangePoint) []int { return eval.ChangeTimes(points) }
 
 // --- §6 extensions -----------------------------------------------------------
 
