@@ -1,0 +1,47 @@
+package main
+
+import (
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// startDebug binds the -debug-addr introspection listener shared by
+// serve and route modes: pprof under /debug/pprof/ and process runtime
+// gauges (goroutines, heap, GC) on /metrics. It is diagnostics, not the
+// data path — the main listener keeps serving if this one later fails.
+// The returned stop function closes the listener.
+func startDebug(addr string, logger *slog.Logger) (stop func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeGauges(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.Render(w)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			logger.Warn("debug listener failed", "addr", addr, "error", serr)
+		}
+	}()
+	logger.Info("debug listening", "addr", "http://"+ln.Addr().String())
+	return func() { srv.Close() }, nil
+}

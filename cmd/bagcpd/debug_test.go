@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugListener: -debug-addr binds pprof and the runtime gauges,
+// and announces its bound address in a structured record.
+func TestDebugListener(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	stop, err := startDebug("127.0.0.1:0", logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	var base string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if addr := announcedAddr(line, `msg="debug listening"`); addr != "" {
+			base = addr
+		}
+	}
+	if base == "" {
+		t.Fatalf("no debug-listening announcement in: %s", buf.String())
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "bagcpd_goroutines") {
+		t.Errorf("debug /metrics: status %d, body:\n%s", resp.StatusCode, body)
+	}
+
+	resp2, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("debug /debug/pprof/: status %d", resp2.StatusCode)
+	}
+
+	// A disabled debug listener is a no-op, not an error.
+	noop, err := startDebug("", logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop()
+}

@@ -24,8 +24,13 @@
 // endpoints, engine snapshot/restore (GET /v1/snapshot, POST
 // /v1/restore) for moving streams between instances, idle-stream TTL
 // eviction (-idle-ttl), bounded in-flight batches (-max-inflight; 429 on
-// overflow) and Prometheus metrics on GET /metrics. The listen address
-// actually bound is printed to stderr (use port 0 to let the OS pick).
+// overflow) and Prometheus metrics on GET /metrics. Operational output
+// (the bound listen address, drain progress, slow batches, evictions)
+// goes to stderr as structured log records — text by default, JSON with
+// -log-format json, verbosity via -log-level; the serving announcement
+// carries the bound address as addr= (use port 0 to let the OS pick).
+// -debug-addr binds a second listener with pprof and process runtime
+// gauges; -slow-push tunes the slow-batch warning threshold.
 //
 // Example:
 //
@@ -42,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -79,15 +85,25 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 0, "serve mode: max bags per push batch (0 = default)")
 		idleTTL     = flag.Duration("idle-ttl", 0, "serve mode: evict streams idle this long (0 disables eviction)")
 		snapOnExit  = flag.String("snapshot-on-exit", "", "serve mode: write a final engine snapshot to this path during graceful SIGINT/SIGTERM drain")
+		slowPush    = flag.Duration("slow-push", 0, "serve mode: warn-log push batches at or above this duration (0 = default 1s; negative disables)")
 
 		route    = flag.String("route", "", "run as a cluster router on this address, forwarding to -members")
 		members  = flag.String("members", "", "route mode: comma-separated member base URLs (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
 		replicas = flag.Int("replicas", 0, "route mode: virtual nodes per member on the hash ring (0 = default)")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log output format: text|json")
+		debugAddr = flag.String("debug-addr", "", "serve/route mode: bind a debug listener (pprof + runtime metrics) on this address")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	if *route != "" {
-		if err := runRoute(*route, *members, *replicas); err != nil {
+		if err := runRoute(*route, *members, *replicas, *debugAddr, logger); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -124,7 +140,17 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := runServe(eng, *serve, *maxInflight, *maxBatch, *idleTTL, *snapOnExit); err != nil {
+		opts := serveOptions{
+			addr:        *serve,
+			maxInflight: *maxInflight,
+			maxBatch:    *maxBatch,
+			idleTTL:     *idleTTL,
+			snapOnExit:  *snapOnExit,
+			slowPush:    *slowPush,
+			debugAddr:   *debugAddr,
+			logger:      logger,
+		}
+		if err := runServe(eng, opts); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -223,6 +249,25 @@ func statisticFromFlag(name string) (string, error) {
 		return "", fmt.Errorf("unknown -score %q (want one of: %s)", name, strings.Join(repro.StatisticNames(), ", "))
 	}
 	return name, nil
+}
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags. Log records go to stderr, keeping stdout exclusively for the
+// CSV result rows in batch mode.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 func kappaString(kappa float64) string {
@@ -418,29 +463,50 @@ func readCSV(r io.Reader, det *repro.Detector, emit func(*repro.Point)) error {
 	return flush()
 }
 
+// serveOptions gathers the serve-mode flags runServe needs.
+type serveOptions struct {
+	addr        string
+	maxInflight int
+	maxBatch    int
+	idleTTL     time.Duration
+	snapOnExit  string
+	slowPush    time.Duration
+	debugAddr   string
+	logger      *slog.Logger
+}
+
 // runServe runs the engine as an HTTP service until SIGINT/SIGTERM,
 // then drains: the listener stops, in-flight requests finish, the
 // eviction janitor halts, a final snapshot is persisted when
 // -snapshot-on-exit asked for one, and the engine shuts down. The bound
-// address is announced on stderr so callers using port 0 (and the
-// integration tests) can find the service.
-func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL time.Duration, snapOnExit string) error {
+// address is announced in a structured "serving" log record (addr=...)
+// so callers using port 0 — and the integration tests — can find the
+// service.
+func runServe(eng *repro.Engine, o serveOptions) error {
 	srv, err := repro.NewServer(repro.ServerConfig{
 		Engine:       eng,
-		MaxInFlight:  maxInflight,
-		MaxBatchBags: maxBatch,
-		IdleTTL:      idleTTL,
+		MaxInFlight:  o.maxInflight,
+		MaxBatchBags: o.maxBatch,
+		IdleTTL:      o.idleTTL,
+		SlowPush:     o.slowPush,
+		Logger:       o.logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	ln, err := net.Listen("tcp", addr)
+	stopDebug, err := startDebug(o.debugAddr, o.logger)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bagcpd: serving on http://%s\n", ln.Addr())
+	defer stopDebug()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	o.logger.Info("serving", "addr", "http://"+ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
@@ -453,7 +519,7 @@ func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL
 		eng.Shutdown()
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "bagcpd: %v, draining\n", sig)
+		o.logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := httpSrv.Shutdown(ctx)
@@ -462,14 +528,14 @@ func runServe(eng *repro.Engine, addr string, maxInflight, maxBatch int, idleTTL
 		// envelope is the same one /v1/snapshot serves: POST it to
 		// another instance's /v1/restore — or a router's migration flow —
 		// to resume every stream bit-identically.
-		if snapOnExit != "" {
-			if serr := writeSnapshot(eng, snapOnExit); serr != nil {
-				fmt.Fprintf(os.Stderr, "bagcpd: snapshot-on-exit: %v\n", serr)
+		if o.snapOnExit != "" {
+			if serr := writeSnapshot(eng, o.snapOnExit); serr != nil {
+				o.logger.Error("snapshot-on-exit failed", "path", o.snapOnExit, "error", serr)
 				if err == nil {
 					err = serr
 				}
 			} else {
-				fmt.Fprintf(os.Stderr, "bagcpd: final snapshot written to %s\n", snapOnExit)
+				o.logger.Info("final snapshot written", "path", o.snapOnExit)
 			}
 		}
 		eng.Shutdown()

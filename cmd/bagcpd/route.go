@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -20,8 +21,9 @@ import (
 // so draining is just stopping the listener; a router restart loses
 // nothing but the in-memory migration overrides (re-migrate, or restart
 // members so the ring owns everything again, to converge). The bound
-// address is announced on stderr like -serve does.
-func runRoute(addr, members string, replicas int) error {
+// address is announced in a structured "routing" log record (addr=...)
+// like -serve's "serving" record.
+func runRoute(addr, members string, replicas int, debugAddr string, logger *slog.Logger) error {
 	var list []string
 	for _, m := range strings.Split(members, ",") {
 		if m = strings.TrimSpace(m); m != "" {
@@ -31,16 +33,26 @@ func runRoute(addr, members string, replicas int) error {
 	if len(list) == 0 {
 		return fmt.Errorf("-route requires -members (comma-separated member base URLs)")
 	}
-	rt, err := repro.NewRouter(repro.RouterConfig{Members: list, Replicas: replicas})
+	rt, err := repro.NewRouter(repro.RouterConfig{
+		Members:  list,
+		Replicas: replicas,
+		Logger:   logger,
+	})
 	if err != nil {
 		return err
 	}
+
+	stopDebug, err := startDebug(debugAddr, logger)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bagcpd: routing on http://%s for %d members\n", ln.Addr(), len(list))
+	logger.Info("routing", "addr", "http://"+ln.Addr().String(), "members", len(list))
 
 	httpSrv := &http.Server{Handler: rt}
 	errc := make(chan error, 1)
@@ -52,7 +64,7 @@ func runRoute(addr, members string, replicas int) error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "bagcpd: %v, draining router\n", sig)
+		logger.Info("draining router", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(ctx)

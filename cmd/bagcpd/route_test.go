@@ -40,11 +40,10 @@ func startBagcpd(t *testing.T, args ...string) (*exec.Cmd, string) {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
-			for _, marker := range []string{"serving on ", "routing on "} {
-				if _, rest, ok := strings.Cut(line, marker); ok {
-					base, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			for _, marker := range []string{"msg=serving", "msg=routing"} {
+				if addr := announcedAddr(line, marker); addr != "" {
 					select {
-					case urlc <- base:
+					case urlc <- addr:
 					default:
 					}
 				}

@@ -52,6 +52,21 @@ func refEngine(t *testing.T) *repro.Engine {
 	return eng
 }
 
+// announcedAddr extracts the addr= value from a structured log line
+// carrying the given msg marker ("msg=serving" / "msg=routing"), or ""
+// when the line is some other record.
+func announcedAddr(line, marker string) string {
+	if !strings.Contains(line, marker) {
+		return ""
+	}
+	for _, f := range strings.Fields(line) {
+		if rest, ok := strings.CutPrefix(f, "addr="); ok {
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
 // startServeProcess launches a bagcpd -serve helper process and returns
 // its base URL once the listener is up.
 func startServeProcess(t *testing.T) (*exec.Cmd, string) {
@@ -74,9 +89,8 @@ func startServeProcess(t *testing.T) (*exec.Cmd, string) {
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
-			line := sc.Text()
-			if _, rest, ok := strings.Cut(line, "serving on "); ok {
-				urlc <- strings.TrimSpace(rest)
+			if addr := announcedAddr(sc.Text(), "msg=serving"); addr != "" {
+				urlc <- addr
 			}
 		}
 	}()

@@ -1,0 +1,112 @@
+// Command metricslint checks a Prometheus text exposition against the
+// structural invariants the fleet's scrape pipeline depends on:
+// HELP/TYPE metadata before every family's first sample, no duplicate
+// series, parseable values, and per-label-set histogram invariants
+// (monotone buckets, le="+Inf" equal to _count). It is the CI gate that
+// keeps a live bagcpd -serve or -route scrape conformant.
+//
+// Usage:
+//
+//	metricslint http://localhost:8080/metrics   # scrape and check a URL
+//	metricslint < exposition.txt                # check stdin
+//	metricslint -require NAME url-or-stdin      # also demand a series
+//
+// Exit status 0 when clean, 1 with one line per violation otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var requires multiFlag
+	flag.Var(&requires, "require", "metric family name that must be present (repeatable)")
+	timeout := flag.Duration("timeout", 10*time.Second, "HTTP timeout when scraping a URL")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: metricslint [flags] [url]\n\nChecks a Prometheus exposition (scraped from url, or stdin) for\nstructural conformance.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var (
+		body io.Reader = os.Stdin
+		from           = "stdin"
+	)
+	if flag.NArg() == 1 {
+		url := flag.Arg(0)
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricslint: scraping %s: %v\n", url, err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "metricslint: scraping %s: status %d\n", url, resp.StatusCode)
+			os.Exit(1)
+		}
+		body, from = resp.Body, url
+	}
+
+	blob, err := io.ReadAll(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: reading %s: %v\n", from, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, lintErr := range obs.Lint(strings.NewReader(string(blob))) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", from, lintErr)
+	}
+
+	if len(requires) > 0 {
+		fams, err := obs.ParseExposition(strings.NewReader(string(blob)))
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", from, err)
+		}
+		have := make(map[string]bool, len(fams))
+		for _, f := range fams {
+			if len(f.Samples) > 0 {
+				have[f.Name] = true
+			}
+		}
+		for _, name := range requires {
+			if !have[name] {
+				failed = true
+				fmt.Fprintf(os.Stderr, "metricslint: %s: required family %s has no samples\n", from, name)
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %s: ok\n", from)
+}
+
+// multiFlag collects repeated -require values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

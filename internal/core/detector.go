@@ -19,11 +19,13 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bag"
 	"repro/internal/bootstrap"
 	"repro/internal/emd"
 	"repro/internal/infoest"
+	"repro/internal/obs"
 	"repro/internal/signature"
 )
 
@@ -247,6 +249,16 @@ type Detector struct {
 	scoreFn bootstrap.ScoreFunc  // stat's closure over &win, built once
 	spare   []float64            // recycled log-distance row from the last slide
 	rowPool [][]float64          // rows salvaged by Reset, reused while refilling
+
+	// obs is the instrumentation seam: nil (the default) means every
+	// stage boundary in Push costs exactly one nil-check and nothing is
+	// recorded; when set, Push times each pipeline stage and accumulates
+	// the solver's per-solve counters. Never affects output.
+	obs      obs.StageObserver
+	stageCum [obs.NumStages]float64 // cumulative seconds per stage (introspection)
+	stageCnt [obs.NumStages]uint64  // stage executions (introspection)
+	last     Point                  // most recent inspection Point
+	hasLast  bool
 }
 
 // New validates cfg and returns a ready Detector.
@@ -298,11 +310,65 @@ func (d *Detector) WindowSize() int { return d.cfg.Tau + d.cfg.TauPrime }
 // Count returns the number of bags pushed so far.
 func (d *Detector) Count() int { return d.count }
 
+// SetObserver installs (or, with nil, removes) the stage-level
+// instrumentation seam. The observer must be safe for concurrent use
+// when detectors sharing it run on different goroutines, and must not
+// allocate (see obs.StageObserver). Instrumentation never changes the
+// detector's output; with a nil observer Push pays one nil-check per
+// stage boundary and records nothing.
+func (d *Detector) SetObserver(o obs.StageObserver) { d.obs = o }
+
+// observeStage closes one stage at now: it reports the duration since
+// start to the observer, folds it into the per-stage cumulative totals
+// (the introspection surface), and returns now as the next stage's
+// start. Callers check d.obs != nil first.
+func (d *Detector) observeStage(s obs.Stage, start time.Time) time.Time {
+	now := time.Now()
+	sec := now.Sub(start).Seconds()
+	d.obs.ObserveStage(s, sec)
+	d.stageCum[s] += sec
+	d.stageCnt[s]++
+	return now
+}
+
+// StageTotal is one pipeline stage's cumulative cost on this detector
+// since construction or the last Reset. Populated only while an
+// observer is attached.
+type StageTotal struct {
+	// Stage is the stage label ("preprocess", "signature", "emd",
+	// "bootstrap") as exposed on bagcpd_push_stage_seconds.
+	Stage string `json:"stage"`
+	// Seconds is the total wall time spent in the stage.
+	Seconds float64 `json:"seconds"`
+	// Count is the number of times the stage ran.
+	Count uint64 `json:"count"`
+}
+
+// StageTotals returns the per-stage cumulative times and counts. All
+// zeros when no observer has been attached (stage timing is only
+// measured while instrumented, so the uninstrumented hot path stays a
+// single nil-check).
+func (d *Detector) StageTotals() [obs.NumStages]StageTotal {
+	var out [obs.NumStages]StageTotal
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		out[s] = StageTotal{Stage: s.String(), Seconds: d.stageCum[s], Count: d.stageCnt[s]}
+	}
+	return out
+}
+
+// Last returns the most recent inspection Point, if any inspection has
+// happened since construction or the last Reset.
+func (d *Detector) Last() (Point, bool) { return d.last, d.hasLast }
+
 // Push feeds the next bag. Once at least τ+τ′ bags have arrived it
 // returns the Point for inspection time t = count−τ′ (the scores lag the
 // stream by τ′−1 steps, which is inherent to the method: the test window
 // must fill before time t can be judged). Before that it returns nil.
 func (d *Detector) Push(b bag.Bag) (*Point, error) {
+	var clock time.Time
+	if d.obs != nil {
+		clock = time.Now()
+	}
 	if d.prep != nil {
 		var err error
 		b, err = d.prep.PreprocessBag(b)
@@ -310,12 +376,18 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 			return nil, fmt.Errorf("core: preprocessing bag %d for statistic %q: %w", d.count, d.stat.Name(), err)
 		}
 	}
+	if d.obs != nil {
+		clock = d.observeStage(obs.StagePreprocess, clock)
+	}
 	sig, err := d.cfg.Builder.Build(b)
 	if err != nil {
 		return nil, fmt.Errorf("core: building signature for bag %d: %w", d.count, err)
 	}
 	if !d.cfg.RawMass {
 		sig = sig.Normalized()
+	}
+	if d.obs != nil {
+		clock = d.observeStage(obs.StageSignature, clock)
 	}
 	w := d.WindowSize()
 	if len(d.window) == w {
@@ -346,6 +418,7 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 	}
 	row = row[:len(d.window)+1]
 	row[len(row)-1] = 0 // self-distance slot; the diagonal is ignored
+	var delta obs.SolveDelta
 	for i, s := range d.window {
 		var dist float64
 		if d.cfg.EMDCostCacheSlots >= 0 {
@@ -359,6 +432,15 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: EMD between bags %d and %d: %w", d.count-len(d.window)+i, d.count, err)
 		}
+		if d.obs != nil {
+			// Stats() is per-solve; fold each solve's counters into the
+			// push's delta so one ObserveSolve covers all w−1 solves.
+			st := d.solver.Stats()
+			delta.Pivots += uint64(st.Pivots)
+			delta.GroundEvals += uint64(st.GroundEvals)
+			delta.CacheHits += uint64(st.CacheHits)
+			delta.CacheMisses += uint64(st.CacheMisses)
+		}
 		l := infoest.ClampLog(dist, d.cfg.LogFloor)
 		row[i] = l
 		d.logD[i] = append(d.logD[i], l)
@@ -366,11 +448,19 @@ func (d *Detector) Push(b bag.Bag) (*Point, error) {
 	d.window = append(d.window, sig)
 	d.logD = append(d.logD, row)
 	d.count++
+	if d.obs != nil {
+		d.obs.ObserveSolve(delta)
+		clock = d.observeStage(obs.StageEMD, clock)
+	}
 
 	if len(d.window) < w {
 		return nil, nil
 	}
-	return d.inspect()
+	p, err := d.inspect()
+	if d.obs != nil {
+		d.observeStage(obs.StageBootstrap, clock)
+	}
+	return p, err
 }
 
 // interval runs the score/bootstrap stage over the current full window:
@@ -404,6 +494,8 @@ func (d *Detector) inspect() (*Point, error) {
 	// Trim history: only intervals within τ′ of the newest time are
 	// ever consulted again.
 	delete(d.history, t-2*d.cfg.TauPrime)
+	d.last = *p
+	d.hasLast = true
 	return p, nil
 }
 
@@ -444,6 +536,12 @@ func (d *Detector) reset(builder signature.Builder, seed int64) {
 	d.count = 0
 	clear(d.history)
 	d.est.ResetStreams(seed)
+	// Introspection state is per-stream; the observer is engine-owned and
+	// survives recycling.
+	d.stageCum = [obs.NumStages]float64{}
+	d.stageCnt = [obs.NumStages]uint64{}
+	d.last = Point{}
+	d.hasLast = false
 }
 
 // Run processes a whole sequence through a fresh detector and returns

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bag"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/signature"
 )
@@ -92,6 +93,7 @@ type Engine struct {
 	free     []*Detector // closed streams' detectors, warm and ready to recycle
 	closed   bool
 	inflight sync.WaitGroup // running PushBatch calls, drained by Shutdown
+	observer obs.StageObserver
 }
 
 // Mark returns the engine's current mutation mark. A caller that takes a
@@ -106,6 +108,32 @@ func (e *Engine) Mark() uint64 { return e.mark.Load() }
 // the snapshot fingerprint carries. Server front-ends surface it on
 // /metrics as the bagcpd_engine_info gauge.
 func (e *Engine) StatisticName() string { return e.cfg.Template.StatisticName() }
+
+// Instrument resolves a stage observer against the registry (labeled
+// with the engine's statistic name) and attaches it to every current
+// and future stream's detector, pooled detectors included, so per-stage
+// push durations and solver work land on bagcpd_push_stage_seconds and
+// the bagcpd_push_solver_*_total counters. Instrumentation never
+// changes detector output; it only adds stage timing to pushes.
+// Restored and recycled streams inherit the observer because every
+// stream creation path goes through Open.
+func (e *Engine) Instrument(r *obs.Registry) {
+	o := r.PushStageObserver(e.StatisticName())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observer = o
+	// Taking st.mu under e.mu follows closeAllLocked's lock order.
+	for _, st := range e.streams {
+		st.mu.Lock()
+		if st.det != nil {
+			st.det.SetObserver(o)
+		}
+		st.mu.Unlock()
+	}
+	for _, det := range e.free {
+		det.SetObserver(o)
+	}
+}
 
 // NewEngine validates cfg and returns an Engine with no open streams.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
@@ -177,6 +205,7 @@ func (e *Engine) Open(id string) (*Stream, error) {
 			return nil, err
 		}
 	}
+	det.SetObserver(e.observer)
 	st := &Stream{eng: e, id: id, det: det}
 	e.streams[id] = st
 	return st, nil
@@ -315,6 +344,55 @@ func (s *Stream) Seq() int {
 		return 0
 	}
 	return s.det.Count()
+}
+
+// StreamStats is Stream.Introspect's point-in-time view of one stream:
+// the bag clock, window occupancy, the last inspection's outcome, the
+// per-stage cumulative push costs (populated while the engine is
+// instrumented), and the delta-snapshot dirty mark.
+type StreamStats struct {
+	// ID is the stream identifier.
+	ID string `json:"stream"`
+	// Bags is the bag clock: bags pushed so far (the next bag's index).
+	Bags int `json:"bags"`
+	// WindowFill is the number of signatures currently retained,
+	// saturating at WindowSize once the stream starts scoring.
+	WindowFill int `json:"window_fill"`
+	// WindowSize is τ+τ′.
+	WindowSize int `json:"window_size"`
+	// DirtyMark is the engine mutation mark of the stream's last
+	// mutation; 0 means untouched since engine start.
+	DirtyMark uint64 `json:"dirty_mark"`
+	// HasLast reports whether Last holds a real inspection Point (false
+	// until the window first fills).
+	HasLast bool `json:"has_last"`
+	// Last is the most recent inspection Point.
+	Last Point `json:"last,omitempty"`
+	// Stages is the cumulative per-stage push cost since the stream
+	// opened. All zeros while the engine is uninstrumented.
+	Stages []StageTotal `json:"stages"`
+}
+
+// Introspect returns the stream's live stats. It errors after Close.
+// The call takes the stream lock, so it serializes with pushes; it does
+// no scoring work of its own.
+func (s *Stream) Introspect() (StreamStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.det == nil {
+		return StreamStats{}, fmt.Errorf("core: stream %q is closed", s.id)
+	}
+	totals := s.det.StageTotals()
+	st := StreamStats{
+		ID:         s.id,
+		Bags:       s.det.Count(),
+		WindowFill: len(s.det.window),
+		WindowSize: s.det.WindowSize(),
+		DirtyMark:  s.dirty,
+		Stages:     totals[:],
+	}
+	st.Last, st.HasLast = s.det.Last()
+	return st, nil
 }
 
 // Close releases the stream and recycles its detector (window buffers,

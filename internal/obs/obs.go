@@ -1,0 +1,548 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// typed metrics registry with Prometheus text exposition, the
+// stage-level instrumentation seam the detector pipeline reports into,
+// and a conformance checker for the exposition format itself.
+//
+// The registry deliberately implements only what the serving tier
+// needs — counters, gauges (stored and scrape-time sampled),
+// fixed-bucket histograms, and a windowed quantile summary — so the
+// hot paths stay allocation-free: a Counter.Add is one atomic add, a
+// Histogram.Observe is a branchless bucket walk plus three atomics,
+// and label lookups happen once at registration, never per sample.
+//
+// Exposition compatibility is a hard contract here: the server and
+// router front-ends moved their hand-rolled /metrics rendering onto
+// Registry.Render, and every pre-existing series name and sample
+// format is preserved bit-for-bit (integer counters render with no
+// decimal point, label values are Go-quoted exactly as before).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is one rendered series group under a family: it writes its
+// sample lines (HELP/TYPE are the family's job).
+type metric interface {
+	write(w io.Writer, name, labels string)
+}
+
+// family is one metric family: a name, HELP/TYPE metadata, and its
+// series in registration order.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string // label keys for vec families; nil for plain ones
+
+	mu     sync.Mutex
+	index  map[string]metric // rendered label string -> series
+	series []string          // rendered label strings, registration order
+}
+
+func (f *family) get(labels string) (metric, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.index[labels]
+	return m, ok
+}
+
+// add registers a series under the family, returning the existing one
+// when the label set is already present (get-or-create semantics: the
+// server and engine may race to resolve the same handle).
+func (f *family) add(labels string, m metric) metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if have, ok := f.index[labels]; ok {
+		return have
+	}
+	f.index[labels] = m
+	f.series = append(f.series, labels)
+	return m
+}
+
+// Registry holds metric families in registration order and renders
+// them as one Prometheus text exposition. All methods are safe for
+// concurrent use. Family constructors are get-or-create: asking twice
+// for the same name returns the same handle, and asking with a
+// conflicting type or label set panics (it is a programming error, not
+// a runtime condition).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, index: make(map[string]metric)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels turns parallel key/value lists into the canonical
+// `{k1="v1",k2="v2"}` form (empty string for no labels). Values are
+// Go-quoted, which covers the Prometheus escaping rules for `"`, `\`
+// and newline.
+func renderLabels(keys, values []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way the pre-registry code did:
+// shortest exact form, integers without a decimal point.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Render writes the full exposition: every family's HELP and TYPE
+// followed by its series in registration order.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		f.mu.Lock()
+		series := make([]string, len(f.series))
+		copy(series, f.series)
+		metrics := make([]metric, len(series))
+		for i, ls := range series {
+			metrics[i] = f.index[ls]
+		}
+		f.mu.Unlock()
+		for i, ls := range series {
+			metrics[i].write(w, f.name, ls)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing integer counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Counter returns the unlabeled counter registered under name,
+// creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", nil)
+	if m, ok := f.get(""); ok {
+		return m.(*Counter)
+	}
+	return f.add("", &Counter{}).(*Counter)
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for the given label values (one per label
+// key, in registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	ls := renderLabels(v.fam.labels, values)
+	if m, ok := v.fam.get(ls); ok {
+		return m.(*Counter)
+	}
+	return v.fam.add(ls, &Counter{}).(*Counter)
+}
+
+// CounterVec returns the labeled counter family registered under name.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, "counter", labelKeys)}
+}
+
+// counterFunc samples a counter value at scrape time.
+type counterFunc struct {
+	f func() uint64
+}
+
+func (c counterFunc) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.f())
+}
+
+// CounterFunc registers a counter whose value is sampled from f at
+// every scrape — for totals owned by other subsystems (the EMD
+// solver's process-wide counters, GC statistics).
+func (r *Registry) CounterFunc(name, help string, f func() uint64) {
+	fam := r.family(name, help, "counter", nil)
+	fam.add("", counterFunc{f})
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float-valued instantaneous measurement.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (positive or negative) atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// Gauge returns the unlabeled gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", nil)
+	if m, ok := f.get(""); ok {
+		return m.(*Gauge)
+	}
+	return f.add("", &Gauge{}).(*Gauge)
+}
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	ls := renderLabels(v.fam.labels, values)
+	if m, ok := v.fam.get(ls); ok {
+		return m.(*Gauge)
+	}
+	return v.fam.add(ls, &Gauge{}).(*Gauge)
+}
+
+// GaugeVec returns the labeled gauge family registered under name.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, "gauge", labelKeys)}
+}
+
+// gaugeFunc samples a gauge at scrape time.
+type gaugeFunc struct {
+	f func() float64
+}
+
+func (g gaugeFunc) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.f()))
+}
+
+// GaugeFunc registers a gauge whose value is sampled from f at every
+// scrape (open streams, pool occupancy, runtime state).
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	fam := r.family(name, help, "gauge", nil)
+	fam.add("", gaugeFunc{f})
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// DefBuckets are the default latency buckets for pipeline stages:
+// exponential, 1µs doubling to ~2s. Stage times span from
+// microsecond signature builds to multi-millisecond bootstrap solves,
+// so a factor-2 ladder keeps relative quantile error under ~50% across
+// the whole range with 21 buckets.
+var DefBuckets = ExpBuckets(1e-6, 2, 21)
+
+// ExpBuckets returns n exponential bucket upper bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into fixed upper-bound buckets and
+// tracks their sum, rendering the Prometheus `_bucket`/`_sum`/`_count`
+// triplet (the `le="+Inf"` bucket is implicit and always equals
+// `_count`). Observe is allocation-free and safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	// count first: a concurrent Render then never sees a bucket
+	// increment that is not yet reflected in the +Inf total, keeping the
+	// rendered buckets monotone.
+	h.count.Add(1)
+	// Linear scan: bucket counts are small (~21) and latencies
+	// concentrate in the low buckets, so the scan usually exits early
+	// and stays branch-predictable; a binary search buys nothing here.
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	// _bucket lines carry the family labels plus le, cumulative.
+	cum := uint64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, formatFloat(ub)), cum)
+	}
+	total := h.count.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, total)
+}
+
+// bucketLabels appends le to an already-rendered label string.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Histogram returns the unlabeled histogram registered under name.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, "histogram", nil)
+	if m, ok := f.get(""); ok {
+		return m.(*Histogram)
+	}
+	return f.add("", newHistogram(buckets)).(*Histogram)
+}
+
+// HistogramVec is a family of histograms keyed by label values. All
+// series share the same bucket bounds, which is what makes them
+// aggregatable across label sets and across fleet members.
+type HistogramVec struct {
+	fam     *family
+	buckets []float64
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	ls := renderLabels(v.fam.labels, values)
+	if m, ok := v.fam.get(ls); ok {
+		return m.(*Histogram)
+	}
+	return v.fam.add(ls, newHistogram(v.buckets)).(*Histogram)
+}
+
+// HistogramVec returns the labeled histogram family registered under
+// name.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	return &HistogramVec{fam: r.family(name, help, "histogram", labelKeys), buckets: buckets}
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+
+// Summary is a sliding-window quantile summary: the last window
+// observations are retained in a ring buffer and the configured
+// quantiles are computed at scrape time by nearest-rank with CEILING
+// rank selection — for n samples, quantile p reports the
+// ceil(p·n)-th smallest. (The pre-registry implementation floored the
+// rank, so p99 over a 10-sample window reported the 80th-percentile
+// sample; ceiling-rank never under-reports a tail quantile.)
+type Summary struct {
+	quantiles []float64
+
+	mu     sync.Mutex
+	window []float64
+	count  uint64
+	sum    float64
+}
+
+// Observe records v.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.window[s.count%uint64(len(s.window))] = v
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// Count returns the total number of observations ever made.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Quantiles returns the configured quantiles over the current window
+// plus the cumulative count and sum.
+func (s *Summary) Quantiles() (qs []float64, count uint64, sum float64) {
+	s.mu.Lock()
+	n := int(s.count)
+	if n > len(s.window) {
+		n = len(s.window)
+	}
+	w := make([]float64, n)
+	copy(w, s.window[:n])
+	count, sum = s.count, s.sum
+	s.mu.Unlock()
+	sort.Float64s(w)
+	qs = make([]float64, len(s.quantiles))
+	for i, p := range s.quantiles {
+		qs[i] = quantileCeilRank(w, p)
+	}
+	return qs, count, sum
+}
+
+// quantileCeilRank returns the ceil(p·n)-th smallest of the sorted
+// (ascending) samples, 0 for an empty set.
+func quantileCeilRank(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+func (s *Summary) write(w io.Writer, name, labels string) {
+	qs, count, sum := s.Quantiles()
+	for i, p := range s.quantiles {
+		fmt.Fprintf(w, "%s%s %s\n", name, quantileLabels(labels, formatFloat(p)), formatFloat(qs[i]))
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+}
+
+func quantileLabels(labels, q string) string {
+	if labels == "" {
+		return `{quantile="` + q + `"}`
+	}
+	return labels[:len(labels)-1] + `,quantile="` + q + `"}`
+}
+
+// Summary returns the unlabeled window summary registered under name.
+// window bounds the retained observations; quantiles are the reported
+// points (each in (0, 1]).
+func (r *Registry) Summary(name, help string, window int, quantiles []float64) *Summary {
+	if window < 1 {
+		panic("obs: summary window must be >= 1")
+	}
+	f := r.family(name, help, "summary", nil)
+	if m, ok := f.get(""); ok {
+		return m.(*Summary)
+	}
+	qs := make([]float64, len(quantiles))
+	copy(qs, quantiles)
+	s := &Summary{quantiles: qs, window: make([]float64, window)}
+	return f.add("", s).(*Summary)
+}

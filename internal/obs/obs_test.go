@@ -1,0 +1,483 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A test counter.")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total A test counter.\n",
+		"# TYPE test_total counter\n",
+		"test_total 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("jobs_total", "Jobs.", "kind", "status")
+	v.With("emd", "ok").Add(3)
+	v.With("emd", "err").Inc()
+	if again := v.With("emd", "ok"); again.Value() != 3 {
+		t.Fatalf("With not get-or-create: value %d", again.Value())
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, `jobs_total{kind="emd",status="ok"} 3`) {
+		t.Errorf("missing labeled sample in:\n%s", out)
+	}
+	if !strings.Contains(out, `jobs_total{kind="emd",status="err"} 1`) {
+		t.Errorf("missing second series in:\n%s", out)
+	}
+}
+
+func TestGetOrCreateIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "Same.")
+	b := r.Counter("same_total", "Same.")
+	if a != b {
+		t.Fatal("Counter not idempotent")
+	}
+	g1 := r.Gauge("g", "G.")
+	g2 := r.Gauge("g", "G.")
+	if g1 != g2 {
+		t.Fatal("Gauge not idempotent")
+	}
+	h1 := r.Histogram("h", "H.", []float64{1, 2})
+	h2 := r.Histogram("h", "H.", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("Histogram not idempotent")
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp", "Temp.")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("Value = %g, want 1", got)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "temp 1\n") {
+		t.Errorf("gauge integer value should render without decimal point:\n%s", b.String())
+	}
+}
+
+func TestGaugeFuncSampledAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("live", "Live.", func() float64 { return v })
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "live 7\n") {
+		t.Fatalf("first scrape:\n%s", b.String())
+	}
+	v = 9
+	b.Reset()
+	r.Render(&b)
+	if !strings.Contains(b.String(), "live 9\n") {
+		t.Fatalf("second scrape not resampled:\n%s", b.String())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("Sum = %g, want 56.05", h.Sum())
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Errorf("histogram exposition fails lint: %v", errs)
+	}
+}
+
+func TestHistogramVecLabelsWithLe(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("stage_seconds", "Stage.", []float64{1}, "stage", "statistic")
+	hv.With("emd", "kl").Observe(0.5)
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, `stage_seconds_bucket{stage="emd",statistic="kl",le="1"} 1`) {
+		t.Errorf("le label must be appended to family labels:\n%s", out)
+	}
+	if !strings.Contains(out, `stage_seconds_sum{stage="emd",statistic="kl"} 0.5`) {
+		t.Errorf("missing _sum with labels:\n%s", out)
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Errorf("labeled histogram fails lint: %v", errs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQuantileCeilRank is the regression test for the floor-rank bug
+// the server's hand-rolled quantiles() had: int(p*(n-1)) floors, so p99
+// over 10 samples returned the 80th-percentile sample. Ceil-rank
+// (rank = ceil(p·n)) never under-reports a tail quantile.
+func TestQuantileCeilRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single-p50", seq(1), 0.5, 1},
+		{"single-p99", seq(1), 0.99, 1},
+		{"n10-p50", seq(10), 0.5, 5},
+		{"n10-p90", seq(10), 0.9, 9},
+		// The floor-rank bug: int(0.99*9) = 8 → sample 9 (p80-ish).
+		// Ceil-rank: ceil(0.99*10) = 10 → the true max.
+		{"n10-p99", seq(10), 0.99, 10},
+		{"n4-p50", seq(4), 0.5, 2},
+		{"n4-p90", seq(4), 0.9, 4},
+		{"n4-p99", seq(4), 0.99, 4},
+		{"n100-p50", seq(100), 0.5, 50},
+		{"n100-p99", seq(100), 0.99, 99},
+		{"n100-p999", seq(100), 0.999, 100},
+		{"p-one", seq(10), 1.0, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := quantileCeilRank(tc.sorted, tc.p); got != tc.want {
+				t.Errorf("quantileCeilRank(n=%d, p=%g) = %g, want %g", len(tc.sorted), tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummaryWindowAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("dur_seconds", "Durations.", 4, []float64{0.5, 0.99})
+	for _, v := range []float64{100, 1, 2, 3, 4} { // 100 falls out of the 4-slot window
+		s.Observe(v)
+	}
+	qs, count, sum := s.Quantiles()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if sum != 110 {
+		t.Fatalf("sum = %g, want 110", sum)
+	}
+	if qs[0] != 2 || qs[1] != 4 {
+		t.Fatalf("quantiles = %v, want [2 4]", qs)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`dur_seconds{quantile="0.5"} 2`,
+		`dur_seconds{quantile="0.99"} 4`,
+		`dur_seconds_sum 110`,
+		`dur_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderOrderIsRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "B.")
+	r.Counter("a_total", "A.")
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	if strings.Index(out, "b_total") > strings.Index(out, "a_total") {
+		t.Errorf("families must render in registration order:\n%s", out)
+	}
+}
+
+func TestPushStageObserver(t *testing.T) {
+	r := NewRegistry()
+	o := r.PushStageObserver("kl")
+	o.ObserveStage(StageEMD, 0.002)
+	o.ObserveStage(StagePreprocess, 0.0001)
+	o.ObserveSolve(SolveDelta{Pivots: 10, GroundEvals: 5, CacheHits: 3, CacheMisses: 2})
+	// Second statistic shares the families.
+	o2 := r.PushStageObserver("clr")
+	o2.ObserveStage(StageEMD, 0.004)
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`bagcpd_push_stage_seconds_count{stage="emd",statistic="kl"} 1`,
+		`bagcpd_push_stage_seconds_count{stage="preprocess",statistic="kl"} 1`,
+		`bagcpd_push_stage_seconds_count{stage="emd",statistic="clr"} 1`,
+		`bagcpd_push_solver_pivots_total{statistic="kl"} 10`,
+		`bagcpd_push_solver_ground_evals_total{statistic="kl"} 5`,
+		`bagcpd_push_solver_cache_hits_total{statistic="kl"} 3`,
+		`bagcpd_push_solver_cache_misses_total{statistic="kl"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Errorf("stage observer exposition fails lint: %v", errs)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StagePreprocess: "preprocess",
+		StageSignature:  "signature",
+		StageEMD:        "emd",
+		StageBootstrap:  "bootstrap",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, s.String(), name)
+		}
+	}
+}
+
+func TestRuntimeGaugesRender(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, name := range []string{
+		"bagcpd_goroutines ",
+		"bagcpd_heap_alloc_bytes ",
+		"bagcpd_heap_sys_bytes ",
+		"bagcpd_gc_pause_seconds_total ",
+		"bagcpd_gc_runs_total ",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing runtime gauge %q in:\n%s", name, out)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Errorf("runtime gauges fail lint: %v", errs)
+	}
+}
+
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "Concurrent.", ExpBuckets(1e-6, 2, 10))
+	c := r.Counter("conc_total", "Concurrent.")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(seed*i%100) * 1e-6)
+				c.Inc()
+			}
+		}(g + 1)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		r.Render(&b)
+		if errs := Lint(strings.NewReader(b.String())); len(errs) > 0 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("concurrent render fails lint: %v", errs)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc_seconds", "Alloc.", DefBuckets)
+	c := r.Counter("alloc_total", "Alloc.")
+	g := r.Gauge("alloc_gauge", "Alloc.")
+	o := r.PushStageObserver("kl")
+	if n := testing.AllocsPerRun(100, func() {
+		h.Observe(1e-4)
+		c.Inc()
+		g.Set(1)
+		o.ObserveStage(StageEMD, 1e-4)
+		o.ObserveSolve(SolveDelta{Pivots: 1})
+	}); n > 0 {
+		t.Fatalf("hot-path observe allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantSub string
+	}{
+		{
+			"missing help/type",
+			"foo_total 1\n",
+			"no preceding # HELP and # TYPE",
+		},
+		{
+			"type after sample",
+			"# HELP foo_total F.\nfoo_total 1\n# TYPE foo_total counter\n",
+			"after its first sample",
+		},
+		{
+			"duplicate series",
+			"# HELP foo_total F.\n# TYPE foo_total counter\nfoo_total 1\nfoo_total 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate series label order",
+			"# HELP foo_total F.\n# TYPE foo_total counter\n" +
+				`foo_total{a="1",b="2"} 1` + "\n" + `foo_total{b="2",a="1"} 2` + "\n",
+			"duplicate series",
+		},
+		{
+			"bad value",
+			"# HELP foo_total F.\n# TYPE foo_total counter\nfoo_total abc\n",
+			"bad sample value",
+		},
+		{
+			"invalid type",
+			"# TYPE foo_total widget\n",
+			"invalid TYPE",
+		},
+		{
+			"missing inf bucket",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+			`missing le="+Inf"`,
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" + "h_sum 1\nh_count 5\n",
+			"not monotone",
+		},
+		{
+			"inf bucket != count",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 4\n",
+			"!= _count",
+		},
+		{
+			"histogram missing sum",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 5` + "\nh_count 5\n",
+			"missing _sum",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(strings.NewReader(tc.in))
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("Lint(%q) = %v, want an error containing %q", tc.in, errs, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLintAcceptsCleanExposition(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP a_total A.",
+		"# TYPE a_total counter",
+		"a_total 1",
+		`a_total{k="v"} 2`, // labeled + unlabeled can coexist
+		"# HELP s S.",
+		"# TYPE s summary",
+		`s{quantile="0.5"} 0.1`,
+		`s{quantile="0.99"} 0.2`,
+		"s_sum 1.5",
+		"s_count 10",
+		"# Member metrics summed across 2/2 reachable members.", // free comments allowed
+		"# HELP h H.",
+		"# TYPE h histogram",
+		`h_bucket{le="0.1"} 1`,
+		`h_bucket{le="+Inf"} 2`,
+		"h_sum 0.3",
+		"h_count 2",
+		"",
+	}, "\n")
+	if errs := Lint(strings.NewReader(in)); len(errs) > 0 {
+		t.Fatalf("clean exposition rejected: %v", errs)
+	}
+}
+
+func TestLintParsesEscapedLabelValues(t *testing.T) {
+	in := "# HELP m M.\n# TYPE m gauge\n" +
+		fmt.Sprintf("m{path=%q} 1\n", `C:\temp "x"`)
+	if errs := Lint(strings.NewReader(in)); len(errs) > 0 {
+		t.Fatalf("escaped label value rejected: %v", errs)
+	}
+}

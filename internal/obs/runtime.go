@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime.ReadMemStats per scrape burst:
+// ReadMemStats stops the world, and a scrape samples several gauges
+// from the same snapshot, so refreshing at most every refreshEvery
+// keeps a scrape to a single pause without the gauges drifting apart.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	ms      runtime.MemStats
+	last    time.Time
+	refresh time.Duration
+}
+
+func (s *runtimeSampler) stats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.last) >= s.refresh {
+		runtime.ReadMemStats(&s.ms)
+		s.last = now
+	}
+	return s.ms
+}
+
+// RegisterRuntimeGauges wires process runtime state into the registry:
+// goroutine count, heap occupancy, and cumulative GC work — the
+// expvar-style numbers a fleet dashboard needs next to the detector's
+// own series. Values are sampled at scrape time.
+func RegisterRuntimeGauges(r *Registry) {
+	s := &runtimeSampler{refresh: 100 * time.Millisecond}
+	r.GaugeFunc("bagcpd_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("bagcpd_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(s.stats().HeapAlloc)
+	})
+	r.GaugeFunc("bagcpd_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", func() float64 {
+		return float64(s.stats().HeapSys)
+	})
+	// Exposed as a gauge because the value is a float (seconds) and the
+	// registry's counters are integers; it is still monotonic.
+	r.GaugeFunc("bagcpd_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", func() float64 {
+		return float64(s.stats().PauseTotalNs) / 1e9
+	})
+	r.CounterFunc("bagcpd_gc_runs_total", "Completed GC cycles.", func() uint64 {
+		return uint64(s.stats().NumGC)
+	})
+}

@@ -1,0 +1,115 @@
+package obs
+
+// Stage identifies one stage of the detection pipeline inside
+// Detector.Push: bag preprocessing (statistics that transform bags,
+// e.g. the centred-log-ratio), signature construction, the incremental
+// EMD solves against the retained window, and the score/bootstrap
+// interval computation.
+type Stage int
+
+const (
+	StagePreprocess Stage = iota
+	StageSignature
+	StageEMD
+	StageBootstrap
+	// NumStages is the number of pipeline stages (for fixed-size
+	// per-stage accumulators).
+	NumStages
+)
+
+// String returns the stage's label value on the
+// bagcpd_push_stage_seconds series.
+func (s Stage) String() string {
+	switch s {
+	case StagePreprocess:
+		return "preprocess"
+	case StageSignature:
+		return "signature"
+	case StageEMD:
+		return "emd"
+	case StageBootstrap:
+		return "bootstrap"
+	default:
+		return "unknown"
+	}
+}
+
+// SolveDelta is the EMD solver work one Push performed, summed over
+// the w−1 incremental solves: simplex pivots, ground-distance
+// evaluations actually computed, and cost-cache traffic.
+type SolveDelta struct {
+	Pivots      uint64
+	GroundEvals uint64
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// StageObserver is the detector's instrumentation seam. The default is
+// nil — an uninstrumented detector pays exactly one nil-check per
+// stage and records nothing — and the serving tier installs a
+// registry-backed observer via Engine.Instrument. Implementations must
+// be safe for concurrent use (an engine shares one observer across all
+// its streams) and must not allocate in either method: both run on the
+// push hot path.
+type StageObserver interface {
+	// ObserveStage records one pipeline stage's duration for one push.
+	ObserveStage(s Stage, seconds float64)
+	// ObserveSolve accumulates the push's EMD solver counter deltas.
+	ObserveSolve(d SolveDelta)
+}
+
+// pushObserver is the registry-backed StageObserver: per-stage
+// duration histograms plus solver work counters, all labeled with the
+// engine's statistic name (resolved once here, so the hot path never
+// touches a label map).
+type pushObserver struct {
+	stages                                      [NumStages]*Histogram
+	pivots, groundEvals, cacheHits, cacheMisses *Counter
+}
+
+// PushStageObserver returns a StageObserver recording into this
+// registry's bagcpd_push_stage_seconds histograms and
+// bagcpd_push_solver_*_total counters, labeled with the given
+// statistic name. Handles are resolved once; ObserveStage and
+// ObserveSolve are allocation-free.
+func (r *Registry) PushStageObserver(statistic string) StageObserver {
+	hv := r.HistogramVec(
+		"bagcpd_push_stage_seconds",
+		"Detector pipeline stage durations per push (preprocess, signature, emd, bootstrap).",
+		DefBuckets, "stage", "statistic")
+	o := &pushObserver{}
+	for s := Stage(0); s < NumStages; s++ {
+		o.stages[s] = hv.With(s.String(), statistic)
+	}
+	o.pivots = r.CounterVec("bagcpd_push_solver_pivots_total",
+		"Simplex pivots performed by the per-push EMD solves.", "statistic").With(statistic)
+	o.groundEvals = r.CounterVec("bagcpd_push_solver_ground_evals_total",
+		"Ground-distance evaluations performed by the per-push EMD solves.", "statistic").With(statistic)
+	o.cacheHits = r.CounterVec("bagcpd_push_solver_cache_hits_total",
+		"Cost cells served from the ground-cost cache by the per-push EMD solves.", "statistic").With(statistic)
+	o.cacheMisses = r.CounterVec("bagcpd_push_solver_cache_misses_total",
+		"Cost cells computed and stored by the per-push EMD solves.", "statistic").With(statistic)
+	return o
+}
+
+func (o *pushObserver) ObserveStage(s Stage, seconds float64) {
+	if s < 0 || s >= NumStages {
+		return
+	}
+	o.stages[s].Observe(seconds)
+}
+
+func (o *pushObserver) ObserveSolve(d SolveDelta) {
+	if d.Pivots > 0 {
+		o.pivots.Add(d.Pivots)
+	}
+	if d.GroundEvals > 0 {
+		o.groundEvals.Add(d.GroundEvals)
+	}
+	if d.CacheHits > 0 {
+		o.cacheHits.Add(d.CacheHits)
+	}
+	if d.CacheMisses > 0 {
+		o.cacheMisses.Add(d.CacheMisses)
+	}
+}

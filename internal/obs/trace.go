@@ -1,0 +1,9 @@
+package obs
+
+// TraceHeader is the fleet's batch-correlation header. The router mints
+// a trace ID per push batch (or propagates a caller-supplied one) and
+// forwards it to the owning members; a member echoes it in every
+// per-row result, in its slow-batch log records and in the response
+// header. It lives here — the shared observability layer — so the
+// server and router agree on the name without depending on each other.
+const TraceHeader = "X-Bagcpd-Trace"

@@ -1,39 +1,63 @@
 package router
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strconv"
-	"strings"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// routerMetrics are the router's own counters. Fleet-level member
-// counters are not mirrored here — the scrape aggregates them live from
-// the members (see handleMetrics), so the router stays stateless about
-// member internals.
+// routerMetrics holds the router's handles into its obs.Registry: the
+// router-tier counters and the per-member liveness gauge. Fleet-level
+// member series are not mirrored here — the scrape aggregates them live
+// from the members (see handleMetrics), so the router stays stateless
+// about member internals.
 type routerMetrics struct {
-	pushBatches     atomic.Uint64 // client push batches accepted
-	pushRows        atomic.Uint64 // rows routed
-	forwarded       atomic.Uint64 // per-member sub-batches forwarded
-	rejected        atomic.Uint64 // batches answered 429 (some member busy)
-	memberErrors    atomic.Uint64 // failed member requests (any endpoint)
-	migrations      atomic.Uint64 // streams migrated successfully
-	migrateFailures atomic.Uint64 // migration groups that failed/rolled back
+	reg *obs.Registry
+
+	pushBatches     *obs.Counter  // client push batches accepted
+	pushRows        *obs.Counter  // rows routed
+	forwarded       *obs.Counter  // per-member sub-batches forwarded
+	rejected        *obs.Counter  // batches answered 429 (some member busy)
+	memberErrors    *obs.Counter  // failed member requests (any endpoint)
+	migrations      *obs.Counter  // streams migrated successfully
+	migrateFailures *obs.Counter  // migration groups that failed/rolled back
+	memberUp        *obs.GaugeVec // member answered the last metrics scrape
 }
 
-// handleMetrics renders the router's own counters, a per-member
-// liveness gauge, and the member fleet's unlabeled counters summed
-// across every reachable member — one scrape sees the whole cluster.
+// newRouterMetrics registers the router's series in the order the
+// pre-registry renderer emitted them, same names and help texts.
+func newRouterMetrics() routerMetrics {
+	reg := obs.NewRegistry()
+	return routerMetrics{
+		reg:             reg,
+		pushBatches:     reg.Counter("bagcpd_router_push_batches_total", "Client push batches accepted by the router."),
+		pushRows:        reg.Counter("bagcpd_router_push_rows_total", "Push rows routed to members."),
+		forwarded:       reg.Counter("bagcpd_router_forwarded_batches_total", "Per-member sub-batches forwarded."),
+		rejected:        reg.Counter("bagcpd_router_rejected_total", "Push batches answered 429 because a member was busy."),
+		memberErrors:    reg.Counter("bagcpd_router_member_errors_total", "Failed member requests."),
+		migrations:      reg.Counter("bagcpd_router_migrations_total", "Streams migrated between members."),
+		migrateFailures: reg.Counter("bagcpd_router_migration_failures_total", "Migration groups that failed and were rolled back."),
+		memberUp: reg.GaugeVec("bagcpd_router_member_up",
+			"Whether the member answered the last metrics scrape.", "member"),
+	}
+}
+
+// handleMetrics renders the router's own registry, then the member
+// fleet's series summed across every reachable member — one scrape sees
+// the whole cluster. Series identity for the sum is the full sample
+// name plus its canonical label set, so two members running different
+// statistics keep distinct `statistic="..."` series instead of having
+// their labeled samples dropped, and each member family keeps its
+// HELP/TYPE metadata on the aggregate page.
 func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	type memberScrape struct {
-		member  string
-		samples map[string]float64
-		err     error
+		member string
+		fams   []*obs.Family
+		err    error
 	}
 	scrapes := make([]memberScrape, len(r.members))
 	var wg sync.WaitGroup
@@ -42,60 +66,34 @@ func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		go func(i int, m string) {
 			defer wg.Done()
 			scrapes[i].member = m
-			scrapes[i].samples, scrapes[i].err = r.scrapeMember(m)
+			scrapes[i].fams, scrapes[i].err = r.scrapeMember(m)
 		}(i, m)
 	}
 	wg.Wait()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	m := &r.met
-	counter("bagcpd_router_push_batches_total", "Client push batches accepted by the router.", m.pushBatches.Load())
-	counter("bagcpd_router_push_rows_total", "Push rows routed to members.", m.pushRows.Load())
-	counter("bagcpd_router_forwarded_batches_total", "Per-member sub-batches forwarded.", m.forwarded.Load())
-	counter("bagcpd_router_rejected_total", "Push batches answered 429 because a member was busy.", m.rejected.Load())
-	counter("bagcpd_router_member_errors_total", "Failed member requests.", m.memberErrors.Load())
-	counter("bagcpd_router_migrations_total", "Streams migrated between members.", m.migrations.Load())
-	counter("bagcpd_router_migration_failures_total", "Migration groups that failed and were rolled back.", m.migrateFailures.Load())
-
-	fmt.Fprint(w, "# HELP bagcpd_router_member_up Whether the member answered the last metrics scrape.\n")
-	fmt.Fprint(w, "# TYPE bagcpd_router_member_up gauge\n")
 	up := 0
+	expositions := make([][]*obs.Family, 0, len(scrapes))
 	for _, sc := range scrapes {
-		v := 0
+		v := 0.0
 		if sc.err == nil {
 			v = 1
 			up++
+			expositions = append(expositions, sc.fams)
 		} else {
-			r.met.memberErrors.Add(1)
+			r.met.memberErrors.Inc()
+			r.log.Warn("member metrics scrape failed", "member", sc.member, "error", sc.err)
 		}
-		fmt.Fprintf(w, "bagcpd_router_member_up{member=%q} %d\n", sc.member, v)
+		r.met.memberUp.With(sc.member).Set(v)
 	}
 
-	// Sum the members' unlabeled samples by name. Labeled samples (the
-	// latency summary quantiles) don't sum meaningfully and are skipped.
-	agg := make(map[string]float64)
-	for _, sc := range scrapes {
-		for name, v := range sc.samples {
-			agg[name] += v
-		}
-	}
-	names := make([]string, 0, len(agg))
-	for name := range agg {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	r.met.reg.Render(w)
 	fmt.Fprintf(w, "# Member metrics summed across %d/%d reachable members.\n", up, len(scrapes))
-	for _, name := range names {
-		fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(agg[name], 'g', -1, 64))
-	}
+	renderFamilies(w, fleetAggregate(expositions))
 }
 
-// scrapeMember fetches one member's /metrics and returns its unlabeled
-// samples by name.
-func (r *Router) scrapeMember(m string) (map[string]float64, error) {
+// scrapeMember fetches one member's /metrics as parsed families.
+func (r *Router) scrapeMember(m string) ([]*obs.Family, error) {
 	resp, err := r.client.Get(m + "/metrics")
 	if err != nil {
 		return nil, err
@@ -105,23 +103,62 @@ func (r *Router) scrapeMember(m string) (map[string]float64, error) {
 		io.Copy(io.Discard, resp.Body)
 		return nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	samples := make(map[string]float64)
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	return obs.ParseExposition(resp.Body)
+}
+
+// fleetAggregate merges member expositions: samples sum by series
+// identity (sample name + canonical labels), families keep the first
+// member's HELP/TYPE (disagreeing types degrade to untyped, as during a
+// mixed-version roll), and family/sample order follows first
+// appearance so histograms keep their bucket order. Summary quantile
+// samples are skipped — order statistics do not sum across processes —
+// while the summaries' _sum/_count still aggregate.
+func fleetAggregate(expositions [][]*obs.Family) []*obs.Family {
+	var order []*obs.Family
+	byName := make(map[string]*obs.Family)
+	index := make(map[string]map[string]int) // family -> series key -> sample index
+	for _, fams := range expositions {
+		for _, mf := range fams {
+			af, ok := byName[mf.Name]
+			if !ok {
+				af = &obs.Family{Name: mf.Name, Help: mf.Help, Type: mf.Type}
+				byName[mf.Name] = af
+				index[mf.Name] = make(map[string]int)
+				order = append(order, af)
+			} else if af.Type != mf.Type {
+				af.Type = "untyped"
+			}
+			idx := index[mf.Name]
+			for _, s := range mf.Samples {
+				if s.HasLabel("quantile") {
+					continue
+				}
+				key := s.Name + s.Labels
+				if i, ok := idx[key]; ok {
+					af.Samples[i].Value += s.Value
+				} else {
+					idx[key] = len(af.Samples)
+					af.Samples = append(af.Samples, obs.Sample{Name: s.Name, Labels: s.Labels, Value: s.Value})
+				}
+			}
 		}
-		name, value, ok := strings.Cut(line, " ")
-		if !ok || strings.Contains(name, "{") {
-			continue // labeled sample: not summable across members
-		}
-		v, err := strconv.ParseFloat(value, 64)
-		if err != nil {
-			continue
-		}
-		samples[name] = v
 	}
-	return samples, sc.Err()
+	return order
+}
+
+// renderFamilies writes aggregated families in Prometheus text format.
+func renderFamilies(w io.Writer, fams []*obs.Family) {
+	for _, f := range fams {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		help := f.Help
+		if help == "" {
+			help = "(member exposition carried no help text)"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, help, f.Name, f.Type)
+		for _, s := range f.Samples {
+			fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
+	}
 }

@@ -1,0 +1,227 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/signature"
+)
+
+// newStatFleet builds a fleet whose members run DIFFERENT statistics —
+// not a valid migration fleet (members must share config for that), but
+// exactly the shape that exercises label-aware metric aggregation.
+func newStatFleet(t *testing.T, stats []string) *fleet {
+	t.Helper()
+	f := &fleet{}
+	var urls []string
+	for _, stat := range stats {
+		eng, err := core.NewEngine(core.EngineConfig{
+			Template: core.Config{
+				Tau: 3, TauPrime: 3,
+				Statistic: stat,
+				Bootstrap: bootstrap.Config{Replicates: 150},
+			},
+			Factory: signature.HistogramFactory(-6, 9, 24),
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(func() {
+			ts.Close()
+			srv.Close()
+		})
+		f.members = append(f.members, ts)
+		f.engines = append(f.engines, eng)
+		urls = append(urls, ts.URL)
+	}
+	rt, err := New(Config{Members: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.front = httptest.NewServer(rt)
+	t.Cleanup(f.front.Close)
+	return f
+}
+
+// streamsPerMember finds one stream id routed to each member, so a test
+// can guarantee every member sees traffic.
+func streamsPerMember(t *testing.T, f *fleet) []string {
+	t.Helper()
+	byMember := make(map[string]string)
+	for i := 0; len(byMember) < len(f.members) && i < 4096; i++ {
+		id := "obs-" + strconv.Itoa(i)
+		owner := f.router.Owner(id)
+		if _, ok := byMember[owner]; !ok {
+			byMember[owner] = id
+		}
+	}
+	if len(byMember) != len(f.members) {
+		t.Fatalf("could not find a stream for every member (%d/%d)", len(byMember), len(f.members))
+	}
+	ids := make([]string, 0, len(byMember))
+	for _, m := range f.members {
+		ids = append(ids, byMember[m.URL])
+	}
+	return ids
+}
+
+// TestRouterMetricsConformance runs the same strict exposition checker
+// the server test uses against the router's AGGREGATED scrape: the
+// fleet-summed families must still carry HELP/TYPE metadata, keep
+// histogram bucket monotonicity and produce no duplicate series
+// alongside the router's own registry.
+func TestRouterMetricsConformance(t *testing.T) {
+	f := newFleet(t, 2)
+	ids := streamsPerMember(t, f)
+	for step := 0; step < 5; step++ {
+		doPush(t, f.front.URL, pushBody(step, ids...))
+	}
+	resp, err := http.Get(f.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if errs := obs.Lint(bytes.NewReader(body)); len(errs) > 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+		t.Fatalf("router /metrics fails exposition conformance:\n%s", body)
+	}
+	// The fleet-aggregated stage histogram must be present (labeled
+	// samples used to be dropped by the aggregator).
+	if !strings.Contains(string(body), `bagcpd_push_stage_seconds_count{stage="emd",statistic="kl"}`) {
+		t.Errorf("aggregated scrape missing labeled stage histogram:\n%s", body)
+	}
+}
+
+// TestRouterAggregatesLabeledSeries: two members running different
+// statistics must keep DISTINCT statistic-labeled series on the
+// router's aggregate page — summing by bare sample name would either
+// drop them (the old aggregator skipped every labeled sample) or
+// collapse kl and lr work into one meaningless number.
+func TestRouterAggregatesLabeledSeries(t *testing.T) {
+	f := newStatFleet(t, []string{"kl", "lr"})
+	statByMember := map[string]string{f.members[0].URL: "kl", f.members[1].URL: "lr"}
+	ids := streamsPerMember(t, f)
+	for step := 0; step < 5; step++ {
+		doPush(t, f.front.URL, pushBody(step, ids...))
+	}
+	resp, err := http.Get(f.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	text := string(blob)
+	for _, stat := range statByMember {
+		// Each member pushed 5 bags into its one stream; the per-statistic
+		// emd stage count must survive aggregation with its label intact.
+		want := `bagcpd_push_stage_seconds_count{stage="emd",statistic="` + stat + `"} 5`
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("aggregate missing %q in:\n%s", want, text)
+		}
+		if !strings.Contains(text, `bagcpd_engine_info{statistic="`+stat+`"} 1`) {
+			t.Errorf("aggregate missing engine info for %s", stat)
+		}
+	}
+	// Label-compatible series still SUM across members: each member
+	// accepted 5 one-row sub-batches.
+	if !strings.Contains(text, "bagcpd_push_batches_total 10\n") {
+		t.Errorf("aggregate did not sum unlabeled member counters:\n%s", text)
+	}
+	if errs := obs.Lint(bytes.NewReader(blob)); len(errs) > 0 {
+		t.Errorf("mixed-statistic aggregate fails lint: %v", errs)
+	}
+}
+
+// TestRouterTracePropagation: the router mints a trace ID when the
+// client sends none (or propagates the client's), members echo it in
+// every result row, and router-synthesized error rows for a dead member
+// carry it too.
+func TestRouterTracePropagation(t *testing.T) {
+	f := newFleet(t, 2)
+	ids := streamsPerMember(t, f)
+
+	// No client trace: the router mints one and hands it back.
+	resp, err := http.Post(f.front.URL+"/v1/push", "application/x-ndjson",
+		strings.NewReader(pushBody(0, ids...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minted := resp.Header.Get(obs.TraceHeader)
+	if minted == "" {
+		t.Fatal("router did not mint a trace ID")
+	}
+	sc := bufio.NewScanner(resp.Body)
+	rows := 0
+	for sc.Scan() {
+		rows++
+		if !strings.Contains(sc.Text(), `"trace":"`+minted+`"`) {
+			t.Errorf("row missing minted trace %q: %s", minted, sc.Text())
+		}
+	}
+	resp.Body.Close()
+	if rows != len(ids) {
+		t.Fatalf("got %d rows, want %d", rows, len(ids))
+	}
+
+	// Client-supplied trace wins over minting.
+	req, _ := http.NewRequest("POST", f.front.URL+"/v1/push", strings.NewReader(pushBody(1, ids...)))
+	req.Header.Set(obs.TraceHeader, "cafebabe03")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get(obs.TraceHeader); got != "cafebabe03" {
+		t.Errorf("response trace = %q, want cafebabe03", got)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(blob)), "\n") {
+		if !strings.Contains(line, `"trace":"cafebabe03"`) {
+			t.Errorf("row missing client trace: %s", line)
+		}
+	}
+
+	// A dead member degrades to router-synthesized error rows — those
+	// must carry the trace too.
+	f.members[0].Close()
+	req3, _ := http.NewRequest("POST", f.front.URL+"/v1/push", strings.NewReader(pushBody(2, ids...)))
+	req3.Header.Set(obs.TraceHeader, "feedbead04")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	sawError := false
+	for _, line := range strings.Split(strings.TrimSpace(string(blob3)), "\n") {
+		if strings.Contains(line, `"error"`) {
+			sawError = true
+		}
+		if !strings.Contains(line, `"trace":"feedbead04"`) {
+			t.Errorf("row missing trace after member death: %s", line)
+		}
+	}
+	if !sawError {
+		t.Fatalf("no error rows despite dead member:\n%s", blob3)
+	}
+}

@@ -19,6 +19,10 @@
 //	                   notes below.
 //	GET  /v1/streams   the fleet's open streams, aggregated across all
 //	                   members; each row gains a "member" field.
+//	GET  /v1/streams/{id}/stats
+//	                   per-stream introspection (bag clock, window fill,
+//	                   last inspection, per-stage costs), proxied to the
+//	                   member that currently owns the stream.
 //	POST /v1/migrate   {"streams": [...], "target": member}: live
 //	                   migration — quiesce routing, extract the streams'
 //	                   state from their current owners, adopt on the
@@ -52,11 +56,15 @@ package router
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,6 +73,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Router.
@@ -84,6 +93,10 @@ type Config struct {
 	// MaxBatchBytes bounds one push request's body, exactly like the
 	// member server's knob. 0 selects the member default.
 	MaxBatchBytes int64
+	// Logger receives the router's structured operational records
+	// (migration spans, member failures, per-batch debug lines). nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // DefaultMemberTimeout bounds each forwarded request when Config.Client
@@ -99,6 +112,7 @@ type Router struct {
 	mux     *http.ServeMux
 	client  *http.Client
 	met     routerMetrics
+	log     *slog.Logger
 
 	// state is the push/migration phase lock: pushes hold it shared,
 	// migration exclusively — so a migrating stream can have no push in
@@ -130,16 +144,23 @@ func New(cfg Config) (*Router, error) {
 	if client == nil {
 		client = &http.Client{Timeout: DefaultMemberTimeout}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	r := &Router{
 		cfg:       cfg,
 		ring:      ring,
 		members:   members,
 		mux:       http.NewServeMux(),
 		client:    client,
+		met:       newRouterMetrics(),
+		log:       logger,
 		overrides: make(map[string]string),
 	}
 	r.mux.HandleFunc("POST /v1/push", r.handlePush)
 	r.mux.HandleFunc("GET /v1/streams", r.handleStreams)
+	r.mux.HandleFunc("GET /v1/streams/{id}/stats", r.handleStreamStats)
 	r.mux.HandleFunc("POST /v1/migrate", r.handleMigrate)
 	r.mux.HandleFunc("GET /v1/members", r.handleMembers)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
@@ -193,15 +214,30 @@ type pushRow struct {
 	Bag    [][]float64 `json:"bag"`
 }
 
-// errorRow is a router-synthesized NDJSON result row.
+// errorRow is a router-synthesized NDJSON result row. It carries the
+// batch trace like member-produced rows do, so a client can correlate
+// partial failures with the router's log records.
 type errorRow struct {
 	Stream string `json:"stream"`
 	Error  string `json:"error"`
+	Trace  string `json:"trace,omitempty"`
 }
 
-func marshalErrorRow(stream, msg string) []byte {
-	b, _ := json.Marshal(errorRow{Stream: stream, Error: msg})
+func marshalErrorRow(stream, msg, trace string) []byte {
+	b, _ := json.Marshal(errorRow{Stream: stream, Error: msg, Trace: trace})
 	return b
+}
+
+// mintTrace draws a fresh 8-byte hex trace ID for a push batch that
+// arrived without one.
+func mintTrace() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; a fixed
+		// sentinel keeps the batch traceable even if it somehow does.
+		return "trace-unavailable"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // memberBatch is one member's slice of a push batch.
@@ -218,6 +254,15 @@ type memberBatch struct {
 func (r *Router) handlePush(w http.ResponseWriter, req *http.Request) {
 	r.state.RLock()
 	defer r.state.RUnlock()
+
+	// Correlate the batch across the fleet: propagate the caller's trace
+	// ID or mint one, forward it to every owning member (which echoes it
+	// in each result row), and hand it back in the response header.
+	start := time.Now()
+	trace := req.Header.Get(obs.TraceHeader)
+	if trace == "" {
+		trace = mintTrace()
+	}
 
 	maxBytes := r.cfg.MaxBatchBytes
 	if maxBytes <= 0 {
@@ -301,12 +346,12 @@ func (r *Router) handlePush(w http.ResponseWriter, req *http.Request) {
 		wg.Add(1)
 		go func(mb *memberBatch) {
 			defer wg.Done()
-			r.forward(mb, streams)
+			r.forward(mb, streams, trace)
 		}(mb)
 	}
 	wg.Wait()
 
-	r.met.pushBatches.Add(1)
+	r.met.pushBatches.Inc()
 	r.met.pushRows.Add(uint64(len(lines)))
 	r.met.forwarded.Add(uint64(len(batches)))
 
@@ -325,10 +370,11 @@ func (r *Router) handlePush(w http.ResponseWriter, req *http.Request) {
 			out[i] = mb.lines[k]
 		}
 	}
+	w.Header().Set(obs.TraceHeader, trace)
 	if busy {
 		// Retry-After from the slowest member: the batch must wait for
 		// the most overloaded instance before a retry can fully apply.
-		r.met.rejected.Add(1)
+		r.met.rejected.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusTooManyRequests)
@@ -341,6 +387,9 @@ func (r *Router) handlePush(w http.ResponseWriter, req *http.Request) {
 		bw.WriteByte('\n')
 	}
 	bw.Flush()
+	r.log.Debug("push batch routed",
+		"trace", trace, "rows", len(lines), "members", len(batches),
+		"busy", busy, "duration", time.Since(start))
 }
 
 func httpRowError(w http.ResponseWriter, sc *bufio.Scanner, line int, err error) {
@@ -351,17 +400,27 @@ func httpRowError(w http.ResponseWriter, sc *bufio.Scanner, line int, err error)
 	http.Error(w, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
 }
 
-// forward ships one member's sub-batch and fills mb.lines with exactly
-// one response line per row.
-func (r *Router) forward(mb *memberBatch, streams []string) {
+// forward ships one member's sub-batch — carrying the batch trace in
+// the push header — and fills mb.lines with exactly one response line
+// per row.
+func (r *Router) forward(mb *memberBatch, streams []string, trace string) {
 	mb.lines = make([][]byte, len(mb.rows))
 	fail := func(msg string) {
-		r.met.memberErrors.Add(1)
+		r.met.memberErrors.Inc()
+		r.log.Warn("member push failed",
+			"member", mb.member, "rows", len(mb.rows), "trace", trace, "error", msg)
 		for k, i := range mb.rows {
-			mb.lines[k] = marshalErrorRow(streams[i], fmt.Sprintf("member %s: %s", mb.member, msg))
+			mb.lines[k] = marshalErrorRow(streams[i], fmt.Sprintf("member %s: %s", mb.member, msg), trace)
 		}
 	}
-	resp, err := r.client.Post(mb.member+"/v1/push", "application/x-ndjson", bytes.NewReader(mb.body.Bytes()))
+	req, err := http.NewRequest(http.MethodPost, mb.member+"/v1/push", bytes.NewReader(mb.body.Bytes()))
+	if err != nil {
+		fail(fmt.Sprintf("building request: %v", err))
+		return
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := r.client.Do(req)
 	if err != nil {
 		fail(fmt.Sprintf("unreachable: %v", err))
 		return
@@ -395,7 +454,7 @@ func (r *Router) forward(mb *memberBatch, streams []string) {
 			mb.retryAfter = ra
 		}
 		for k, i := range mb.rows {
-			mb.lines[k] = marshalErrorRow(streams[i], fmt.Sprintf("member %s busy (429, retry after %ds); rows NOT applied", mb.member, mb.retryAfter))
+			mb.lines[k] = marshalErrorRow(streams[i], fmt.Sprintf("member %s busy (429, retry after %ds); rows NOT applied", mb.member, mb.retryAfter), trace)
 		}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -446,7 +505,8 @@ func (r *Router) handleStreams(w http.ResponseWriter, _ *http.Request) {
 	var unreachable []string
 	for _, res := range results {
 		if res.err != nil {
-			r.met.memberErrors.Add(1)
+			r.met.memberErrors.Inc()
+			r.log.Warn("member streams listing failed", "member", res.member, "error", res.err)
 			unreachable = append(unreachable, res.member)
 			continue
 		}
@@ -458,6 +518,29 @@ func (r *Router) handleStreams(w http.ResponseWriter, _ *http.Request) {
 		out["unreachable"] = unreachable
 	}
 	writeJSON(w, out)
+}
+
+// handleStreamStats proxies the per-stream introspection endpoint to
+// the member that currently owns the stream, so an operator can inspect
+// any stream through the front tier without knowing the ring.
+func (r *Router) handleStreamStats(w http.ResponseWriter, req *http.Request) {
+	r.state.RLock()
+	defer r.state.RUnlock()
+	id := req.PathValue("id")
+	owner := r.Owner(id)
+	resp, err := r.client.Get(owner + "/v1/streams/" + url.PathEscape(id) + "/stats")
+	if err != nil {
+		r.met.memberErrors.Inc()
+		r.log.Warn("member stats proxy failed", "member", owner, "stream", id, "error", err)
+		http.Error(w, fmt.Sprintf("member %s unreachable: %v", owner, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
 }
 
 // migrateRequest is the body of POST /v1/migrate.
@@ -500,9 +583,8 @@ func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
 	r.state.Lock()
 	defer r.state.Unlock()
 
-	// Group the streams by their current owner.
-	bySource := make(map[string][]string)
-	var sources []string
+	// Validate the id list before consulting ownership, so a malformed
+	// request is always a 400 regardless of where its streams hash.
 	seen := make(map[string]bool, len(mr.Streams))
 	for _, id := range mr.Streams {
 		if id == "" {
@@ -514,6 +596,12 @@ func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		seen[id] = true
+	}
+
+	// Group the streams by their current owner.
+	bySource := make(map[string][]string)
+	var sources []string
+	for _, id := range mr.Streams {
 		owner := r.Owner(id)
 		if owner == target {
 			http.Error(w, fmt.Sprintf("stream %q already routes to %s", id, target), http.StatusConflict)
@@ -525,11 +613,15 @@ func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
 		bySource[owner] = append(bySource[owner], id)
 	}
 
+	start := time.Now()
 	var migrated []string
 	for _, source := range sources {
 		ids := bySource[source]
+		groupStart := time.Now()
 		env, err := r.extract(source, ids)
 		if err != nil {
+			r.log.Error("migration extract failed",
+				"source", source, "target", target, "streams", len(ids), "error", err)
 			r.migrateError(w, http.StatusBadGateway, migrated,
 				fmt.Errorf("extract %v from %s: %w (streams still on %s)", ids, source, err, source), nil)
 			return
@@ -540,12 +632,17 @@ func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
 			// fails, the envelope in the error response is the only copy
 			// of the stream state — surface it rather than lose it.
 			if rbErr := r.adopt(source, env); rbErr != nil {
-				r.met.migrateFailures.Add(1)
+				r.met.migrateFailures.Inc()
+				r.log.Error("migration adopt and rollback failed; envelope orphaned",
+					"source", source, "target", target, "streams", len(ids),
+					"adopt_error", err, "rollback_error", rbErr)
 				r.migrateError(w, http.StatusInternalServerError, migrated,
 					fmt.Errorf("adopt %v on %s failed (%v) AND rollback onto %s failed (%v); envelope attached", ids, target, err, source, rbErr), env)
 				return
 			}
-			r.met.migrateFailures.Add(1)
+			r.met.migrateFailures.Inc()
+			r.log.Error("migration adopt failed, rolled back onto source",
+				"source", source, "target", target, "streams", len(ids), "error", err)
 			r.migrateError(w, http.StatusConflict, migrated,
 				fmt.Errorf("adopt %v on %s: %w (rolled back onto %s)", ids, target, err, source), nil)
 			return
@@ -563,8 +660,14 @@ func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
 		r.mu.Unlock()
 		migrated = append(migrated, ids...)
 		r.met.migrations.Add(uint64(len(ids)))
+		r.log.Info("migration group moved",
+			"source", source, "target", target, "streams", len(ids),
+			"duration", time.Since(groupStart))
 	}
 	sort.Strings(migrated)
+	r.log.Info("migration complete",
+		"target", target, "streams", len(migrated), "sources", len(sources),
+		"duration", time.Since(start))
 	writeJSON(w, map[string]any{"migrated": migrated, "target": target})
 }
 

@@ -2,12 +2,10 @@ package server
 
 import (
 	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/emd"
+	"repro/internal/obs"
 )
 
 // latencyWindow is the number of recent batch latencies the quantile
@@ -15,106 +13,97 @@ import (
 // and the memory bounded regardless of traffic.
 const latencyWindow = 1024
 
-// metrics is the server's instrumentation: monotonic counters plus a
-// sliding window of push-batch latencies for the scrape-time quantile
-// summary. All methods are safe for concurrent use.
+// metrics holds the server's handles into its obs.Registry. The
+// registry renders the whole /metrics exposition (the same code path
+// the router uses), and every series the pre-registry hand-rolled
+// renderer emitted is registered here under the same name, type and
+// sample format — integer counters render with no decimal point, the
+// engine-info gauge carries the statistic label, and the batch-latency
+// summary keeps its 1024-observation window and p50/p90/p99 points
+// (now ceil-rank; the old floor-rank selection under-reported tail
+// quantiles on small windows).
 type metrics struct {
-	batches     atomic.Uint64 // push batches accepted
-	bags        atomic.Uint64 // bags ingested
-	points      atomic.Uint64 // inspection points produced
-	rowErrors   atomic.Uint64 // per-row push errors
-	rejected    atomic.Uint64 // batches refused with 429
-	evictions   atomic.Uint64 // idle streams evicted
-	snapshots   atomic.Uint64 // snapshots served (full and delta)
-	restores    atomic.Uint64 // restores applied
-	extractions atomic.Uint64 // streams extracted for migration
-	adoptions   atomic.Uint64 // streams adopted from migration envelopes
-	inflight    atomic.Int64  // push batches currently executing
+	reg *obs.Registry
 
-	mu         sync.Mutex
-	latencies  [latencyWindow]float64 // seconds, ring buffer
-	latCount   uint64                 // total observations ever
-	latSumSecs float64                // cumulative sum (Prometheus _sum)
+	batches     *obs.Counter // push batches accepted
+	bags        *obs.Counter // bags ingested
+	points      *obs.Counter // inspection points produced
+	rowErrors   *obs.Counter // per-row push errors
+	rejected    *obs.Counter // batches refused with 429
+	evictions   *obs.Counter // idle streams evicted
+	snapshots   *obs.Counter // snapshots served (full and delta)
+	restores    *obs.Counter // restores applied
+	extractions *obs.Counter // streams extracted for migration
+	adoptions   *obs.Counter // streams adopted from migration envelopes
+	inflight    *obs.Gauge   // push batches currently executing
+	batchLat    *obs.Summary // push batch latency window
 }
 
-func (m *metrics) observeBatch(seconds float64, bags, points, rowErrors int) {
-	m.batches.Add(1)
-	m.bags.Add(uint64(bags))
-	m.points.Add(uint64(points))
-	m.rowErrors.Add(uint64(rowErrors))
-	m.mu.Lock()
-	m.latencies[m.latCount%latencyWindow] = seconds
-	m.latCount++
-	m.latSumSecs += seconds
-	m.mu.Unlock()
-}
+// newMetrics builds the server's registry: the serving-tier series in
+// the order the pre-registry renderer emitted them, then the engine's
+// stage instrumentation (Engine.Instrument adds the
+// bagcpd_push_stage_seconds histograms and solver counters, labeled by
+// statistic), then the process runtime gauges.
+func newMetrics(eng *core.Engine) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
 
-// quantiles returns the p50/p90/p99 of the latency window plus the
-// cumulative count and sum.
-func (m *metrics) quantiles() (q50, q90, q99 float64, count uint64, sum float64) {
-	m.mu.Lock()
-	n := int(m.latCount)
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	window := make([]float64, n)
-	copy(window, m.latencies[:n])
-	count, sum = m.latCount, m.latSumSecs
-	m.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0, count, sum
-	}
-	sort.Float64s(window)
-	at := func(p float64) float64 {
-		i := int(p * float64(n-1))
-		return window[i]
-	}
-	return at(0.5), at(0.9), at(0.99), count, sum
-}
-
-// render writes the Prometheus text exposition. The gauges that describe
-// engine state (streams open, pool occupancy) and the engine's statistic
-// name are sampled by the caller at scrape time and passed in.
-func (m *metrics) render(w io.Writer, open, pooled int, statistic string) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
 	// Info-style gauge: the engine's per-inspection statistic as a label.
-	// The router's fleet aggregation sums only UNLABELED samples, so this
-	// passes through member scrapes without perturbing the fleet counters.
-	fmt.Fprint(w, "# HELP bagcpd_engine_info Engine configuration identity (constant 1; statistic is the registry name in the snapshot fingerprint).\n# TYPE bagcpd_engine_info gauge\n")
-	fmt.Fprintf(w, "bagcpd_engine_info{statistic=%q} 1\n", statistic)
-	gauge("bagcpd_streams_open", "Open detector streams.", int64(open))
-	gauge("bagcpd_detector_pool_free", "Warm detectors waiting in the recycle pool.", int64(pooled))
-	gauge("bagcpd_inflight_batches", "Push batches currently executing.", m.inflight.Load())
-	counter("bagcpd_push_batches_total", "Push batches accepted.", m.batches.Load())
-	counter("bagcpd_push_bags_total", "Bags ingested.", m.bags.Load())
-	counter("bagcpd_push_points_total", "Inspection points produced.", m.points.Load())
-	counter("bagcpd_push_row_errors_total", "Per-row push errors.", m.rowErrors.Load())
-	counter("bagcpd_push_rejected_total", "Push batches refused with 429 (back-pressure).", m.rejected.Load())
-	counter("bagcpd_evictions_total", "Idle streams evicted.", m.evictions.Load())
-	counter("bagcpd_snapshots_total", "Engine snapshots served.", m.snapshots.Load())
-	counter("bagcpd_restores_total", "Engine restores applied.", m.restores.Load())
-	counter("bagcpd_streams_extracted_total", "Streams extracted into migration envelopes.", m.extractions.Load())
-	counter("bagcpd_streams_adopted_total", "Streams adopted from migration envelopes.", m.adoptions.Load())
+	reg.GaugeVec("bagcpd_engine_info",
+		"Engine configuration identity (constant 1; statistic is the registry name in the snapshot fingerprint).",
+		"statistic").With(eng.StatisticName()).Set(1)
+	reg.GaugeFunc("bagcpd_streams_open", "Open detector streams.", func() float64 {
+		return float64(eng.Stats().Open)
+	})
+	reg.GaugeFunc("bagcpd_detector_pool_free", "Warm detectors waiting in the recycle pool.", func() float64 {
+		return float64(eng.Stats().PooledFree)
+	})
+	m.inflight = reg.Gauge("bagcpd_inflight_batches", "Push batches currently executing.")
+	m.batches = reg.Counter("bagcpd_push_batches_total", "Push batches accepted.")
+	m.bags = reg.Counter("bagcpd_push_bags_total", "Bags ingested.")
+	m.points = reg.Counter("bagcpd_push_points_total", "Inspection points produced.")
+	m.rowErrors = reg.Counter("bagcpd_push_row_errors_total", "Per-row push errors.")
+	m.rejected = reg.Counter("bagcpd_push_rejected_total", "Push batches refused with 429 (back-pressure).")
+	m.evictions = reg.Counter("bagcpd_evictions_total", "Idle streams evicted.")
+	m.snapshots = reg.Counter("bagcpd_snapshots_total", "Engine snapshots served.")
+	m.restores = reg.Counter("bagcpd_restores_total", "Engine restores applied.")
+	m.extractions = reg.Counter("bagcpd_streams_extracted_total", "Streams extracted into migration envelopes.")
+	m.adoptions = reg.Counter("bagcpd_streams_adopted_total", "Streams adopted from migration envelopes.")
 
 	// EMD cost-amortization totals, sampled from the solver package at
 	// scrape time (every detector solve publishes into them). The hit:eval
 	// ratio shows how much ground-distance work the cost caches absorb.
-	ge, ch, cm := emd.GlobalStats()
-	counter("emd_ground_evals_total", "Ground-distance evaluations performed by EMD solves.", ge)
-	counter("emd_cost_cache_hits_total", "Cost cells served from EMD ground-cost caches.", ch)
-	counter("emd_cost_cache_misses_total", "Cost cells computed and stored into EMD ground-cost caches.", cm)
+	reg.CounterFunc("emd_ground_evals_total", "Ground-distance evaluations performed by EMD solves.", func() uint64 {
+		ge, _, _ := emd.GlobalStats()
+		return ge
+	})
+	reg.CounterFunc("emd_cost_cache_hits_total", "Cost cells served from EMD ground-cost caches.", func() uint64 {
+		_, ch, _ := emd.GlobalStats()
+		return ch
+	})
+	reg.CounterFunc("emd_cost_cache_misses_total", "Cost cells computed and stored into EMD ground-cost caches.", func() uint64 {
+		_, _, cm := emd.GlobalStats()
+		return cm
+	})
 
-	q50, q90, q99, count, sum := m.quantiles()
-	fmt.Fprintf(w, "# HELP bagcpd_push_batch_seconds Push batch latency (window of last %d batches).\n", latencyWindow)
-	fmt.Fprint(w, "# TYPE bagcpd_push_batch_seconds summary\n")
-	fmt.Fprintf(w, "bagcpd_push_batch_seconds{quantile=\"0.5\"} %g\n", q50)
-	fmt.Fprintf(w, "bagcpd_push_batch_seconds{quantile=\"0.9\"} %g\n", q90)
-	fmt.Fprintf(w, "bagcpd_push_batch_seconds{quantile=\"0.99\"} %g\n", q99)
-	fmt.Fprintf(w, "bagcpd_push_batch_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "bagcpd_push_batch_seconds_count %d\n", count)
+	m.batchLat = reg.Summary("bagcpd_push_batch_seconds",
+		fmt.Sprintf("Push batch latency (window of last %d batches).", latencyWindow),
+		latencyWindow, []float64{0.5, 0.9, 0.99})
+
+	// Stage-level pipeline instrumentation: per-stage push histograms and
+	// solver work counters, labeled with the engine's statistic name.
+	eng.Instrument(reg)
+
+	// Process runtime state (goroutines, heap, GC), sampled at scrape.
+	obs.RegisterRuntimeGauges(reg)
+	return m
+}
+
+// observeBatch records one completed push batch.
+func (m *metrics) observeBatch(seconds float64, bags, points, rowErrors int) {
+	m.batches.Inc()
+	m.bags.Add(uint64(bags))
+	m.points.Add(uint64(points))
+	m.rowErrors.Add(uint64(rowErrors))
+	m.batchLat.Observe(seconds)
 }

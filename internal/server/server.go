@@ -48,6 +48,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -58,7 +59,15 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// TraceHeader is the batch-correlation header: the router mints a trace
+// ID per push batch (or propagates a caller-supplied one) and forwards
+// it here, the server echoes it in every per-row result and in its
+// slow-batch log lines, and the response carries it back. One user push
+// is thereby traceable across the whole fleet.
+const TraceHeader = obs.TraceHeader
 
 // Config parameterizes a Server.
 type Config struct {
@@ -86,6 +95,15 @@ type Config struct {
 	// EvictEvery is the eviction sweep period; 0 selects IdleTTL/4
 	// (clamped to at least a second).
 	EvictEvery time.Duration
+	// Logger receives the server's structured operational events
+	// (slow batches, evictions, snapshot/restore/migration spans). nil
+	// discards them.
+	Logger *slog.Logger
+	// SlowPush is the batch-duration threshold above which a push batch
+	// is logged (threshold sampling keeps the log volume proportional to
+	// trouble, not traffic). 0 selects DefaultSlowPush; negative disables
+	// slow-batch logging.
+	SlowPush time.Duration
 	// Now overrides the clock, for tests. nil selects time.Now.
 	Now func() time.Time
 }
@@ -95,6 +113,7 @@ const (
 	DefaultMaxInFlight   = 32
 	DefaultMaxBatchBags  = 65536
 	DefaultMaxBatchBytes = 64 << 20
+	DefaultSlowPush      = time.Second
 )
 
 // Server is the HTTP front-end. Create with New, mount as an
@@ -103,7 +122,8 @@ type Server struct {
 	cfg Config
 	eng *core.Engine
 	mux *http.ServeMux
-	met metrics
+	met *metrics
+	log *slog.Logger
 	now func() time.Time
 
 	sem chan struct{} // in-flight push slots (back-pressure)
@@ -152,10 +172,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.SlowPush == 0 {
+		cfg.SlowPush = DefaultSlowPush
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:      cfg,
 		eng:      cfg.Engine,
 		mux:      http.NewServeMux(),
+		met:      newMetrics(cfg.Engine),
+		log:      cfg.Logger,
 		now:      cfg.Now,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		ticks:    make(map[string]int),
@@ -163,6 +191,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/push", s.handlePush)
 	s.mux.HandleFunc("GET /v1/streams", s.handleStreams)
+	s.mux.HandleFunc("GET /v1/streams/{id}/stats", s.handleStreamStats)
 	s.mux.HandleFunc("POST /v1/streams/{id}/close", s.handleCloseStream)
 	s.mux.HandleFunc("POST /v1/streams/extract", s.handleExtract)
 	s.mux.HandleFunc("POST /v1/streams/adopt", s.handleAdopt)
@@ -224,13 +253,18 @@ type resultRow struct {
 	Kappa   *float64 `json:"kappa,omitempty"` // absent while κ_t is undefined
 	Alarm   bool     `json:"alarm,omitempty"`
 	Error   string   `json:"error,omitempty"`
+	// Trace is the batch's correlation ID, echoed from the TraceHeader
+	// request header (the router mints one per batch). Absent on direct
+	// pushes without the header.
+	Trace string `json:"trace,omitempty"`
 }
 
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	trace := r.Header.Get(TraceHeader)
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		s.met.rejected.Add(1)
+		s.met.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "too many in-flight push batches", http.StatusTooManyRequests)
 		return
@@ -330,12 +364,15 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	out := bufio.NewWriter(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	if trace != "" {
+		w.Header().Set(TraceHeader, trace)
+	}
+	out := bufio.NewWriter(w)
 	enc := json.NewEncoder(out)
 	points, rowErrors := 0, 0
 	for i, res := range results {
-		rr := resultRow{Stream: res.StreamID, BagT: bagT[i]}
+		rr := resultRow{Stream: res.StreamID, BagT: bagT[i], Trace: trace}
 		switch {
 		case res.Err != nil:
 			rowErrors++
@@ -357,7 +394,23 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(&rr)
 	}
 	out.Flush()
-	s.met.observeBatch(end.Sub(start).Seconds(), len(rows), points, rowErrors)
+	elapsed := end.Sub(start)
+	s.met.observeBatch(elapsed.Seconds(), len(rows), points, rowErrors)
+	if s.cfg.SlowPush > 0 && elapsed >= s.cfg.SlowPush {
+		s.log.Warn("slow push batch",
+			"trace", trace,
+			"bags", len(rows),
+			"points", points,
+			"row_errors", rowErrors,
+			"duration", elapsed.Seconds())
+	} else {
+		s.log.Debug("push batch",
+			"trace", trace,
+			"bags", len(rows),
+			"points", points,
+			"row_errors", rowErrors,
+			"duration", elapsed.Seconds())
+	}
 }
 
 // readRows parses the request body as NDJSON push rows.
@@ -468,6 +521,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// Exclusive: waits for in-flight pushes, holds new ones. The engine
 	// is fully quiescent for the duration, so the captured state is a
 	// consistent cut across every stream.
+	start := s.now()
 	s.state.Lock()
 	var snap *core.EngineSnapshot
 	var err error
@@ -481,7 +535,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	s.met.snapshots.Add(1)
+	s.met.snapshots.Inc()
+	s.log.Info("snapshot served",
+		"streams", len(snap.Streams),
+		"delta", delta,
+		"mark", snap.Mark,
+		"duration", s.now().Sub(start).Seconds())
 	writeJSON(w, snap)
 }
 
@@ -506,6 +565,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "extract request names no streams", http.StatusBadRequest)
 		return
 	}
+	start := s.now()
 	s.state.Lock()
 	defer s.state.Unlock()
 	snap, err := s.eng.SnapshotStreams(req.Streams...)
@@ -523,6 +583,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.met.extractions.Add(uint64(len(req.Streams)))
+	s.log.Info("streams extracted",
+		"streams", len(req.Streams),
+		"duration", s.now().Sub(start).Seconds())
 	writeJSON(w, snap)
 }
 
@@ -537,6 +600,7 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("decoding snapshot: %v", err), http.StatusBadRequest)
 		return
 	}
+	start := s.now()
 	s.state.Lock()
 	defer s.state.Unlock()
 	if err := s.eng.RestoreStreams(&snap); err != nil {
@@ -552,6 +616,9 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	s.met.adoptions.Add(uint64(len(snap.Streams)))
+	s.log.Info("streams adopted",
+		"streams", len(snap.Streams),
+		"duration", s.now().Sub(start).Seconds())
 	writeJSON(w, map[string]any{"adopted": len(snap.Streams)})
 }
 
@@ -563,6 +630,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	start := s.now()
 	s.state.Lock()
 	defer s.state.Unlock()
 	// Vet the envelope BEFORE tearing anything down: a mismatched
@@ -584,7 +652,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.resetBookkeeping(&snap)
-	s.met.restores.Add(1)
+	s.met.restores.Inc()
+	s.log.Info("restore applied",
+		"streams", len(snap.Streams),
+		"duration", s.now().Sub(start).Seconds())
 	writeJSON(w, map[string]any{"restored": len(snap.Streams)})
 }
 
@@ -607,9 +678,67 @@ func (s *Server) resetBookkeeping(snap *core.EngineSnapshot) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	stats := s.eng.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, stats.Open, stats.PooledFree, s.eng.StatisticName())
+	s.met.reg.Render(w)
+}
+
+// streamStatsRow is GET /v1/streams/{id}/stats's wire form of
+// core.StreamStats. Last is re-shaped so an undefined κ_t is absent
+// instead of a NaN (which JSON cannot carry), mirroring resultRow.
+type streamStatsRow struct {
+	Stream     string            `json:"stream"`
+	Bags       int               `json:"bags"`
+	WindowFill int               `json:"window_fill"`
+	WindowSize int               `json:"window_size"`
+	DirtyMark  uint64            `json:"dirty_mark"`
+	Last       *lastPointRow     `json:"last,omitempty"`
+	Stages     []core.StageTotal `json:"stages"`
+}
+
+// lastPointRow is the last inspection Point in result-row shape.
+type lastPointRow struct {
+	T     int      `json:"t"`
+	Score float64  `json:"score"`
+	Lo    float64  `json:"lo"`
+	Up    float64  `json:"up"`
+	Kappa *float64 `json:"kappa,omitempty"`
+	Alarm bool     `json:"alarm,omitempty"`
+}
+
+// handleStreamStats serves the live introspection view of one stream:
+// bag clock, window fill, last score/interval, cumulative per-stage
+// push costs, and the delta-snapshot dirty mark.
+func (s *Server) handleStreamStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.state.RLock()
+	defer s.state.RUnlock()
+	st, ok := s.eng.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("stream %q is not open", id), http.StatusNotFound)
+		return
+	}
+	stats, err := st.Introspect()
+	if err != nil {
+		// Lost a race with Close.
+		http.Error(w, fmt.Sprintf("stream %q is not open", id), http.StatusNotFound)
+		return
+	}
+	row := streamStatsRow{
+		Stream:     stats.ID,
+		Bags:       stats.Bags,
+		WindowFill: stats.WindowFill,
+		WindowSize: stats.WindowSize,
+		DirtyMark:  stats.DirtyMark,
+		Stages:     stats.Stages,
+	}
+	if stats.HasLast {
+		p := stats.Last
+		row.Last = &lastPointRow{T: p.T, Score: p.Score, Lo: p.Interval.Lo, Up: p.Interval.Up, Alarm: p.Alarm}
+		if !math.IsNaN(p.Kappa) {
+			row.Last.Kappa = &p.Kappa
+		}
+	}
+	writeJSON(w, row)
 }
 
 // forget drops the per-stream bookkeeping of a closed stream: its next
@@ -654,6 +783,12 @@ func (s *Server) EvictIdle(ttl time.Duration) []string {
 	}
 	sort.Strings(evicted)
 	s.met.evictions.Add(uint64(len(evicted)))
+	if len(evicted) > 0 {
+		s.log.Info("idle streams evicted",
+			"streams", len(evicted),
+			"ttl", ttl.Seconds(),
+			"duration", s.now().Sub(now).Seconds())
+	}
 	return evicted
 }
 
