@@ -24,7 +24,14 @@
 // endpoints, engine snapshot/restore (GET /v1/snapshot, POST
 // /v1/restore) for moving streams between instances, idle-stream TTL
 // eviction (-idle-ttl), bounded in-flight batches (-max-inflight; 429 on
-// overflow) and Prometheus metrics on GET /metrics. Operational output
+// overflow) and Prometheus metrics on GET /metrics. With -oplog DIR the
+// service is crash-durable: every acknowledged push row is fsynced to a
+// write-ahead oplog before its 200, and a restarted (even SIGKILL'd)
+// instance replays the directory back to exactly the acknowledged
+// state. -pool-max bounds the resident detector pool, spilling idle
+// streams to disk (-spill-dir, default <oplog>/streams) and faulting
+// them back in on push; -evict-sweep-max caps evictions per janitor
+// sweep. Operational output
 // (the bound listen address, drain progress, slow batches, evictions)
 // goes to stderr as structured log records — text by default, JSON with
 // -log-format json, verbosity via -log-level; the serving announcement
@@ -86,6 +93,10 @@ func main() {
 		idleTTL     = flag.Duration("idle-ttl", 0, "serve mode: evict streams idle this long (0 disables eviction)")
 		snapOnExit  = flag.String("snapshot-on-exit", "", "serve mode: write a final engine snapshot to this path during graceful SIGINT/SIGTERM drain")
 		slowPush    = flag.Duration("slow-push", 0, "serve mode: warn-log push batches at or above this duration (0 = default 1s; negative disables)")
+		oplogDir    = flag.String("oplog", "", "serve mode: write-ahead oplog directory — acknowledged pushes survive SIGKILL and replay at startup")
+		poolMax     = flag.Int("pool-max", 0, "serve mode: max resident detector streams; idle overflow spills to disk (requires -oplog or -spill-dir; 0 = unbounded)")
+		spillDir    = flag.String("spill-dir", "", "serve mode: on-disk store for spilled streams (default: <oplog>/streams)")
+		evictMax    = flag.Int("evict-sweep-max", 0, "serve mode: cap streams evicted per janitor sweep (0 = no cap)")
 
 		route    = flag.String("route", "", "run as a cluster router on this address, forwarding to -members")
 		members  = flag.String("members", "", "route mode: comma-separated member base URLs (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
@@ -147,6 +158,10 @@ func main() {
 			idleTTL:     *idleTTL,
 			snapOnExit:  *snapOnExit,
 			slowPush:    *slowPush,
+			oplogDir:    *oplogDir,
+			poolMax:     *poolMax,
+			spillDir:    *spillDir,
+			evictMax:    *evictMax,
 			debugAddr:   *debugAddr,
 			logger:      logger,
 		}
@@ -471,6 +486,10 @@ type serveOptions struct {
 	idleTTL     time.Duration
 	snapOnExit  string
 	slowPush    time.Duration
+	oplogDir    string
+	poolMax     int
+	spillDir    string
+	evictMax    int
 	debugAddr   string
 	logger      *slog.Logger
 }
@@ -484,12 +503,16 @@ type serveOptions struct {
 // service.
 func runServe(eng *repro.Engine, o serveOptions) error {
 	srv, err := repro.NewServer(repro.ServerConfig{
-		Engine:       eng,
-		MaxInFlight:  o.maxInflight,
-		MaxBatchBags: o.maxBatch,
-		IdleTTL:      o.idleTTL,
-		SlowPush:     o.slowPush,
-		Logger:       o.logger,
+		Engine:           eng,
+		MaxInFlight:      o.maxInflight,
+		MaxBatchBags:     o.maxBatch,
+		IdleTTL:          o.idleTTL,
+		SlowPush:         o.slowPush,
+		OplogDir:         o.oplogDir,
+		MaxResident:      o.poolMax,
+		SpillDir:         o.spillDir,
+		MaxEvictPerSweep: o.evictMax,
+		Logger:           o.logger,
 	})
 	if err != nil {
 		return err
@@ -536,6 +559,16 @@ func runServe(eng *repro.Engine, o serveOptions) error {
 				}
 			} else {
 				o.logger.Info("final snapshot written", "path", o.snapOnExit)
+			}
+		}
+		// With an oplog, collapse the log into a final checkpoint so the
+		// next start replays an envelope, not the whole session's suffix.
+		if o.oplogDir != "" {
+			if cerr := srv.Checkpoint(); cerr != nil {
+				o.logger.Error("drain checkpoint failed", "error", cerr)
+				if err == nil {
+					err = cerr
+				}
 			}
 		}
 		eng.Shutdown()

@@ -67,11 +67,12 @@ func announcedAddr(line, marker string) string {
 	return ""
 }
 
-// startServeProcess launches a bagcpd -serve helper process and returns
-// its base URL once the listener is up.
-func startServeProcess(t *testing.T) (*exec.Cmd, string) {
+// startServeProcess launches a bagcpd -serve helper process (with any
+// extra flags appended to serveArgs) and returns its base URL once the
+// listener is up.
+func startServeProcess(t *testing.T, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], serveArgs...)
+	cmd := exec.Command(os.Args[0], append(append([]string{}, serveArgs...), extra...)...)
 	cmd.Env = append(os.Environ(), "BAGCPD_SERVE_HELPER=1")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

@@ -458,6 +458,19 @@ type StreamResult struct {
 // and all other streams proceed. The returned error is the first
 // per-bag error in batch order, nil if every bag succeeded.
 func (e *Engine) PushBatch(batch []StreamBag) ([]StreamResult, error) {
+	return e.PushBatchFn(batch, nil)
+}
+
+// PushBatchFn is PushBatch with a mutation hook: onApply (when non-nil)
+// is invoked once per SUCCESSFULLY applied bag, with the bag's batch
+// index and the engine mutation mark the applying group stamped, while
+// the stream's lock is still held. That lock makes the hook's call
+// order per stream exactly the apply order — across concurrent batches
+// too — which is what a write-ahead log needs to record a replayable
+// history (the server enqueues each applied row's oplog record here).
+// The hook must be fast and must not call back into the engine or the
+// stream; it runs on the push fan-out workers.
+func (e *Engine) PushBatchFn(batch []StreamBag, onApply func(i int, mark uint64)) ([]StreamResult, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -527,6 +540,10 @@ func (e *Engine) PushBatch(batch []StreamBag) ([]StreamResult, error) {
 			if err != nil {
 				results[i].Err = err
 				failed = err
+				continue
+			}
+			if onApply != nil {
+				onApply(i, g.st.dirty)
 			}
 		}
 	}

@@ -320,6 +320,14 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 // the whole range with 21 buckets.
 var DefBuckets = ExpBuckets(1e-6, 2, 21)
 
+// FsyncBuckets are the buckets for durability fsync latencies: 16µs
+// doubling to ~0.5s. Group-committed fsyncs sit around 0.1–10ms on
+// SSDs but stretch thousandfold on saturated or network-backed disks,
+// and the histogram must resolve both regimes — the low end is where
+// the fsync batching pays off, the high end is the first symptom of a
+// dying volume.
+var FsyncBuckets = ExpBuckets(16e-6, 2, 16)
+
 // ExpBuckets returns n exponential bucket upper bounds starting at
 // start and growing by factor.
 func ExpBuckets(start, factor float64, n int) []float64 {

@@ -41,6 +41,17 @@
 // serialize their own pushes, exactly as with Engine.PushBatch.
 // Snapshot and restore take an exclusive lock: they wait for running
 // batches to finish and hold new ones until the state transfer is done.
+//
+// Durability (optional, Config.OplogDir): every applied push row is
+// appended to a write-ahead oplog and group-commit fsynced BEFORE the
+// batch's 200 is written, so a SIGKILL'd instance replays back to
+// exactly the acknowledged prefix of every stream. Checkpoints collapse
+// the log into a full engine envelope (automatic past
+// Config.OplogCheckpointBytes, and on graceful drain). With
+// Config.MaxResident the detector pool is bounded: idle streams spill
+// their envelopes to an on-disk stream store instead of being
+// discarded, and a push to a spilled stream faults it back in
+// transparently — bit-identical to a stream that never left memory.
 package server
 
 import (
@@ -55,11 +66,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bag"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/oplog"
 )
 
 // TraceHeader is the batch-correlation header: the router mints a trace
@@ -106,6 +119,37 @@ type Config struct {
 	SlowPush time.Duration
 	// Now overrides the clock, for tests. nil selects time.Now.
 	Now func() time.Time
+
+	// OplogDir enables the write-ahead oplog: every applied push row is
+	// made durable there before its batch is acknowledged, and the server
+	// replays the directory's checkpoint + log suffix at startup. Empty
+	// disables durability (the pre-oplog behavior).
+	OplogDir string
+	// OplogSegmentBytes rotates oplog segments past this size. 0 selects
+	// oplog.DefaultSegmentBytes.
+	OplogSegmentBytes int64
+	// OplogCheckpointBytes triggers a background checkpoint (full engine
+	// envelope + log compaction) once this many log bytes accumulate past
+	// the last one. 0 selects DefaultOplogCheckpointBytes; negative
+	// disables auto-checkpointing (explicit Checkpoint calls and the
+	// graceful-drain checkpoint still run).
+	OplogCheckpointBytes int64
+	// SpillDir is the on-disk stream store for spilled idle streams.
+	// Empty with OplogDir set defaults to OplogDir/streams; empty without
+	// an oplog disables spilling (eviction discards, as before).
+	SpillDir string
+	// MaxResident bounds the detector streams resident in memory; pushes
+	// that would exceed it spill the least-recently-pushed streams first.
+	// Requires a spill store. 0 means unbounded.
+	MaxResident int
+	// EvictBatch bounds how many streams one eviction sweep closes (or
+	// spills) per exclusive-lock acquisition — pushes interleave between
+	// batches instead of stalling behind a whole O(streams) sweep. 0
+	// selects DefaultEvictBatch.
+	EvictBatch int
+	// MaxEvictPerSweep caps the total streams one sweep may evict; the
+	// remainder waits for the next sweep. 0 means no cap.
+	MaxEvictPerSweep int
 }
 
 // Defaults for Config's zero values.
@@ -114,6 +158,7 @@ const (
 	DefaultMaxBatchBags  = 65536
 	DefaultMaxBatchBytes = 64 << 20
 	DefaultSlowPush      = time.Second
+	DefaultEvictBatch    = 64
 )
 
 // Server is the HTTP front-end. Create with New, mount as an
@@ -137,6 +182,18 @@ type Server struct {
 	mu       sync.Mutex
 	ticks    map[string]int       // next bag time index per stream
 	lastPush map[string]time.Time // last push wall time per stream
+
+	// Durability tier (durability.go). wal and spill are nil when the
+	// corresponding Config directory is unset.
+	wal      *oplog.Log
+	spill    *oplog.StreamStore
+	poolPeak atomic.Int64   // high-water mark of resident streams
+	ckptBusy atomic.Bool    // one background auto-checkpoint at a time
+	bg       sync.WaitGroup // background checkpoints in flight
+
+	// sweepPause, when set (tests), runs between eviction batches with no
+	// locks held — the window a racing push slots into.
+	sweepPause func()
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -201,6 +258,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	// Durability: open the spill store and oplog, replay the crash suffix.
+	// Before the janitor starts and before any handler can run, so the
+	// recovery sees a quiescent engine.
+	if err := s.initDurability(); err != nil {
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return nil, err
+	}
 	if cfg.IdleTTL > 0 {
 		every := cfg.EvictEvery
 		if every <= 0 {
@@ -219,17 +285,23 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the eviction janitor. It does not shut down the engine —
-// the caller owns that decision (a process handing its streams to
-// another instance snapshots first, then shuts the engine down).
+// Close stops the eviction janitor, waits out background checkpoints,
+// and closes the oplog (syncing any pending records). It does not shut
+// down the engine — the caller owns that decision (a process draining
+// gracefully calls Checkpoint first, then shuts the engine down).
 func (s *Server) Close() error {
+	var err error
 	s.closeOnce.Do(func() {
 		if s.janitorStop != nil {
 			close(s.janitorStop)
 			<-s.janitorDone
 		}
+		s.bg.Wait()
+		if s.wal != nil {
+			err = s.wal.Close()
+		}
 	})
-	return nil
+	return err
 }
 
 // pushRow is one NDJSON ingest row.
@@ -265,7 +337,9 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		s.met.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		// The hint tracks observed batch latency: telling a client to
+		// retry in 1s while batches take 10 only feeds the congestion.
+		w.Header().Set("Retry-After", strconv.Itoa(s.met.retryAfterSeconds()))
 		http.Error(w, "too many in-flight push batches", http.StatusTooManyRequests)
 		return
 	}
@@ -293,7 +367,17 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.state.RLock()
+	// Acquire the shared phase lock with every batch stream resident:
+	// spilled streams fault back in and, when the pool is bounded, idle
+	// residents spill out to make room (durability.go).
+	streamSet := make(map[string]struct{}, len(rows))
+	for _, row := range rows {
+		streamSet[row.Stream] = struct{}{}
+	}
+	if err := s.ensureResident(streamSet); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	defer s.state.RUnlock()
 
 	// Assign each row its stream's next time index. The tick allocation
@@ -313,11 +397,31 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	results, _ := s.eng.PushBatch(batch) // errors are carried per-row
+	// The oplog record for each applied row is enqueued from the engine's
+	// apply hook — under the stream's lock, so per-stream log order is
+	// apply order even across interleaving batches. Durability comes from
+	// the Sync below, before anything is acknowledged.
+	var onApply func(i int, mark uint64)
+	if s.wal != nil {
+		onApply = func(i int, mark uint64) {
+			s.wal.Enqueue(&oplog.Record{
+				Op:     oplog.OpPush,
+				Stream: batch[i].StreamID,
+				BagT:   batch[i].Bag.T,
+				Bag:    batch[i].Bag.Points,
+				Mark:   mark,
+				Trace:  trace,
+			})
+		}
+	}
+	results, _ := s.eng.PushBatchFn(batch, onApply) // errors are carried per-row
 	if results == nil {
 		// The engine itself refused (shut down mid-flight).
 		http.Error(w, "engine is shut down", http.StatusServiceUnavailable)
 		return
+	}
+	if s.spill != nil {
+		s.notePoolPeak()
 	}
 
 	end := s.now()
@@ -364,6 +468,22 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// The acknowledgement gate: no response row is written until every
+	// applied row's oplog record is fsynced. On failure NOTHING is
+	// acknowledged — the rows are applied in memory but the client must
+	// treat the batch as not-ingested (the sticky log error keeps
+	// refusing batches until the operator intervenes, so the in-memory
+	// state cannot drift further from the durable one).
+	if s.wal != nil {
+		if err := s.wal.Sync(); err != nil {
+			s.met.oplogSyncErrors.Inc()
+			s.log.Error("oplog sync failed; refusing to acknowledge batch",
+				"trace", trace, "bags", len(rows), "error", err)
+			http.Error(w, "durability failure: batch not acknowledged", http.StatusServiceUnavailable)
+			return
+		}
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if trace != "" {
 		w.Header().Set(TraceHeader, trace)
@@ -371,6 +491,11 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	out := bufio.NewWriter(w)
 	enc := json.NewEncoder(out)
 	points, rowErrors := 0, 0
+	// Once a response write fails the connection is gone: every further
+	// Encode would fail identically, so the loop stops writing at the
+	// first failure and counts the rows the client never saw. (The rows
+	// ARE applied and durable — the client re-syncs via /v1/streams.)
+	dropped := 0
 	for i, res := range results {
 		rr := resultRow{Stream: res.StreamID, BagT: bagT[i], Trace: trace}
 		switch {
@@ -391,9 +516,25 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			}
 			rr.Alarm = p.Alarm
 		}
-		enc.Encode(&rr)
+		if dropped > 0 {
+			dropped++
+			continue
+		}
+		if err := enc.Encode(&rr); err != nil {
+			dropped = 1
+			s.log.Warn("push response write failed; dropping remaining rows",
+				"trace", trace, "row", i, "error", err)
+		}
 	}
-	out.Flush()
+	if dropped == 0 {
+		if err := out.Flush(); err != nil {
+			dropped = 1
+			s.log.Warn("push response flush failed", "trace", trace, "error", err)
+		}
+	}
+	if dropped > 0 {
+		s.met.respWriteErrors.Add(uint64(dropped))
+	}
 	elapsed := end.Sub(start)
 	s.met.observeBatch(elapsed.Seconds(), len(rows), points, rowErrors)
 	if s.cfg.SlowPush > 0 && elapsed >= s.cfg.SlowPush {
@@ -411,6 +552,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			"row_errors", rowErrors,
 			"duration", elapsed.Seconds())
 	}
+	s.maybeCheckpoint()
 }
 
 // readRows parses the request body as NDJSON push rows.
@@ -483,7 +625,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, _ *http.Request) {
 		infos = append(infos, info)
 	}
 	s.mu.Unlock()
-	writeJSON(w, map[string]any{"streams": infos})
+	s.writeJSON(w, map[string]any{"streams": infos})
 }
 
 func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
@@ -495,12 +637,36 @@ func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
 	defer s.state.Unlock()
 	st, ok := s.eng.Get(id)
 	if !ok {
+		// A spilled stream is still logically open; closing it drops its
+		// on-disk envelope. The close record goes durable FIRST — if the
+		// spill file outlived a logged close, recovery would resurrect a
+		// stream the client was told is gone.
+		if s.spill != nil && s.spill.Has(id) {
+			if err := s.logCloseLocked(id); err != nil {
+				http.Error(w, fmt.Sprintf("recording close: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+			if err := s.spill.Delete(id); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			s.forget(id)
+			s.writeJSON(w, map[string]any{"closed": id})
+			return
+		}
 		http.Error(w, fmt.Sprintf("stream %q is not open", id), http.StatusNotFound)
+		return
+	}
+	// Durable close record before the in-memory teardown: on failure the
+	// stream stays open and the client gets the error, instead of a close
+	// that silently un-happens at the next crash.
+	if err := s.logCloseLocked(id); err != nil {
+		http.Error(w, fmt.Sprintf("recording close: %v", err), http.StatusServiceUnavailable)
 		return
 	}
 	st.Close()
 	s.forget(id)
-	writeJSON(w, map[string]any{"closed": id})
+	s.writeJSON(w, map[string]any{"closed": id})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -541,7 +707,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		"delta", delta,
 		"mark", snap.Mark,
 		"duration", s.now().Sub(start).Seconds())
-	writeJSON(w, snap)
+	s.writeJSON(w, snap)
 }
 
 // extractRequest is the body of POST /v1/streams/extract.
@@ -568,9 +734,30 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	start := s.now()
 	s.state.Lock()
 	defer s.state.Unlock()
+	// Spilled streams are still this instance's to donate: fault them in
+	// so the capture below sees them.
+	if s.spill != nil {
+		var spilled []string
+		for _, id := range req.Streams {
+			if s.spill.Has(id) {
+				spilled = append(spilled, id)
+			}
+		}
+		if err := s.faultInLocked(spilled); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
 	snap, err := s.eng.SnapshotStreams(req.Streams...)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	// The extracted streams leave this instance, so their oplog story
+	// ends in a durable close — recorded before the teardown, so a crash
+	// cannot resurrect streams another instance now owns.
+	if err := s.logCloseLocked(req.Streams...); err != nil {
+		http.Error(w, fmt.Sprintf("recording extraction: %v", err), http.StatusServiceUnavailable)
 		return
 	}
 	// Capture succeeded for every named stream; now drop them here. The
@@ -586,7 +773,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	s.log.Info("streams extracted",
 		"streams", len(req.Streams),
 		"duration", s.now().Sub(start).Seconds())
-	writeJSON(w, snap)
+	s.writeJSON(w, snap)
 }
 
 // handleAdopt is the receiving half of a migration (and of a delta
@@ -615,11 +802,21 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		s.lastPush[ss.ID] = now
 	}
 	s.mu.Unlock()
+	// Adopted state arrived without oplog records; only a checkpoint makes
+	// it durable, and the donor has already let go. A checkpoint failure
+	// keeps the streams live but reports 500 — the caller must not treat
+	// the migration as safely landed.
+	s.enforcePoolBoundLocked()
+	if err := s.checkpointLocked("adopt"); err != nil {
+		s.log.Error("post-adopt checkpoint failed", "error", err)
+		http.Error(w, fmt.Sprintf("streams adopted but not yet durable: %v", err), http.StatusInternalServerError)
+		return
+	}
 	s.met.adoptions.Add(uint64(len(snap.Streams)))
 	s.log.Info("streams adopted",
 		"streams", len(snap.Streams),
 		"duration", s.now().Sub(start).Seconds())
-	writeJSON(w, map[string]any{"adopted": len(snap.Streams)})
+	s.writeJSON(w, map[string]any{"adopted": len(snap.Streams)})
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
@@ -652,11 +849,26 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.resetBookkeeping(&snap)
+	// The envelope replaced ALL state: stale spill files would later
+	// fault dead lives back in, and the old log no longer describes
+	// anything. Clear the store and collapse the log into a covers-all
+	// checkpoint (restore rewinds the engine's mark counter, so the old
+	// records' marks cannot be compared against the new envelope's).
+	if err := s.clearSpillLocked(); err != nil {
+		http.Error(w, fmt.Sprintf("restore applied but spill store not cleared: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.enforcePoolBoundLocked()
+	if err := s.checkpointAsLocked("restore", true); err != nil {
+		s.log.Error("post-restore checkpoint failed", "error", err)
+		http.Error(w, fmt.Sprintf("restore applied but not yet durable: %v", err), http.StatusInternalServerError)
+		return
+	}
 	s.met.restores.Inc()
 	s.log.Info("restore applied",
 		"streams", len(snap.Streams),
 		"duration", s.now().Sub(start).Seconds())
-	writeJSON(w, map[string]any{"restored": len(snap.Streams)})
+	s.writeJSON(w, map[string]any{"restored": len(snap.Streams)})
 }
 
 // resetBookkeeping rebuilds the per-stream tick clocks and idle stamps
@@ -738,7 +950,7 @@ func (s *Server) handleStreamStats(w http.ResponseWriter, r *http.Request) {
 			row.Last.Kappa = &p.Kappa
 		}
 	}
-	writeJSON(w, row)
+	s.writeJSON(w, row)
 }
 
 // forget drops the per-stream bookkeeping of a closed stream: its next
@@ -750,35 +962,99 @@ func (s *Server) forget(id string) {
 	s.mu.Unlock()
 }
 
-// EvictIdle closes every stream idle for at least ttl and returns the
-// evicted ids (sorted). The janitor calls it periodically; tests call it
-// directly with a synthetic clock. It holds the exclusive phase lock:
-// with pushes excluded, the idle stamps it decides on cannot go stale
-// mid-sweep, so a stream whose bags were just applied can never be
-// evicted out from under its acknowledgement.
+// EvictIdle evicts streams idle for at least ttl and returns the
+// evicted ids (sorted). With a spill store the stream's envelope pages
+// out to disk (a later push faults it back in, bit-identical);
+// otherwise its state is discarded as before. The janitor calls it
+// periodically; tests call it directly with a synthetic clock.
+//
+// The sweep no longer holds the exclusive phase lock for its whole
+// O(streams) duration — that stalled every push behind the slowest
+// sweep. Instead the idle census runs under the bookkeeping mutex only,
+// and the candidates are then processed in bounded batches, each under
+// a brief exclusive acquisition that RE-CHECKS the candidate's idle
+// stamp: a stream pushed between census and batch has a newer stamp and
+// is spared, so the old "evicted out from under its acknowledgement"
+// guarantee still holds, now per batch instead of per sweep.
 func (s *Server) EvictIdle(ttl time.Duration) []string {
-	s.state.Lock()
-	defer s.state.Unlock()
 	now := s.now()
-	var evicted []string
-	for _, id := range s.eng.StreamIDs() {
-		s.mu.Lock()
+	type cand struct {
+		id   string
+		last time.Time
+	}
+	ids := s.eng.StreamIDs()
+	cands := make([]cand, 0, len(ids))
+	s.mu.Lock()
+	for _, id := range ids {
 		last, seen := s.lastPush[id]
 		if !seen {
 			// A stream the server has no stamp for (restored then never
 			// pushed, or opened out-of-band): start its idle clock now.
 			s.lastPush[id] = now
-			s.mu.Unlock()
 			continue
+		}
+		if now.Sub(last) >= ttl {
+			cands = append(cands, cand{id, last})
+		}
+	}
+	s.mu.Unlock()
+	// Oldest first, so a per-sweep cap sheds the longest-idle state.
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].last.Equal(cands[j].last) {
+			return cands[i].last.Before(cands[j].last)
+		}
+		return cands[i].id < cands[j].id
+	})
+	if max := s.cfg.MaxEvictPerSweep; max > 0 && len(cands) > max {
+		cands = cands[:max]
+	}
+	batchSize := s.cfg.EvictBatch
+	if batchSize <= 0 {
+		batchSize = DefaultEvictBatch
+	}
+	var evicted []string
+	for lo := 0; lo < len(cands); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		s.state.Lock()
+		victims := make([]string, 0, hi-lo)
+		s.mu.Lock()
+		for _, c := range cands[lo:hi] {
+			// Spare any stream pushed since the census (newer stamp) or
+			// already gone (closed, extracted, spilled by a push's own
+			// pool maintenance).
+			if last, seen := s.lastPush[c.id]; !seen || !last.Equal(c.last) {
+				continue
+			}
+			if _, open := s.eng.Get(c.id); open {
+				victims = append(victims, c.id)
+			}
 		}
 		s.mu.Unlock()
-		if now.Sub(last) < ttl {
-			continue
+		if s.spill != nil {
+			evicted = append(evicted, s.spillStreamsLocked(victims)...)
+		} else {
+			// Discard mode: the state is gone, so with an oplog the close
+			// must be durable before the teardown (a crash between the two
+			// would otherwise resurrect the stream).
+			if err := s.logCloseLocked(victims...); err != nil {
+				s.log.Error("eviction close records failed; keeping streams", "streams", len(victims), "error", err)
+				s.state.Unlock()
+				break
+			}
+			for _, id := range victims {
+				if st, ok := s.eng.Get(id); ok {
+					st.Close()
+					s.forget(id)
+					evicted = append(evicted, id)
+				}
+			}
 		}
-		if st, ok := s.eng.Get(id); ok {
-			st.Close()
-			s.forget(id)
-			evicted = append(evicted, id)
+		s.state.Unlock()
+		if s.sweepPause != nil && hi < len(cands) {
+			s.sweepPause()
 		}
 	}
 	sort.Strings(evicted)
@@ -787,6 +1063,7 @@ func (s *Server) EvictIdle(ttl time.Duration) []string {
 		s.log.Info("idle streams evicted",
 			"streams", len(evicted),
 			"ttl", ttl.Seconds(),
+			"spill", s.spill != nil,
 			"duration", s.now().Sub(now).Seconds())
 	}
 	return evicted
@@ -806,8 +1083,14 @@ func (s *Server) janitor(every time.Duration) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON writes v as the JSON response body. A failed write means
+// the client hung up (or the value is unencodable — a bug): either way
+// the failure is logged and counted instead of vanishing.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.met.respWriteErrors.Inc()
+		s.log.Warn("response write failed", "error", err)
+	}
 }
